@@ -1,0 +1,200 @@
+// Shared plumbing for the paper-reproduction benches: scaled workload
+// construction, method factories, metric evaluation, and table printing.
+//
+// Scale control:
+//   FRT_SCALE=full  -> paper-sized |D| (1000 for Table II / Fig. 4, up to
+//                      10000 for Fig. 5). Expect long runtimes.
+//   (default)       -> laptop scale (|D| in the low hundreds); shapes are
+//                      preserved, absolute numbers shrink.
+//   FRT_SEED=<n>    -> master seed (default 42).
+
+#ifndef FRT_BENCH_BENCH_COMMON_H_
+#define FRT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/linker.h"
+#include "attack/recovery_attack.h"
+#include "common/stopwatch.h"
+#include "baselines/adatrace.h"
+#include "baselines/dpt.h"
+#include "baselines/glove.h"
+#include "baselines/identity.h"
+#include "baselines/signature_closure.h"
+#include "baselines/w4m.h"
+#include "core/pipeline.h"
+#include "metrics/utility.h"
+#include "synth/workload.h"
+
+namespace frt::bench {
+
+inline bool FullScale() {
+  const char* scale = std::getenv("FRT_SCALE");
+  return scale != nullptr && std::string(scale) == "full";
+}
+
+inline uint64_t MasterSeed() {
+  const char* seed = std::getenv("FRT_SEED");
+  return seed != nullptr ? std::strtoull(seed, nullptr, 10) : 42ULL;
+}
+
+/// Builds the T-Drive-substitute workload at the requested size.
+inline Workload BuildWorkload(int num_taxis, int target_points,
+                              uint64_t seed) {
+  WorkloadConfig wcfg;
+  wcfg.num_taxis = num_taxis;
+  wcfg.target_points = target_points;
+  RoadGenConfig rcfg;  // defaults: 36x36 intersections, ~550 m spacing
+  auto w = GenerateTaxiWorkload(wcfg, rcfg, seed);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 w.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*w);
+}
+
+/// A named anonymization method plus evaluation directives.
+struct Method {
+  std::unique_ptr<Anonymizer> anonymizer;
+  bool has_timestamps = true;  ///< false: print '-' for LAt / LAst
+  bool record_level = true;    ///< false: skip the recovery experiment
+};
+
+/// The full Table II method roster (paper order), parameterized by the
+/// paper's settings: m = 10, k = 5, l = 3, t = 0.1, eps = 1.0.
+inline std::vector<Method> TableTwoMethods(const RoadNetwork* network) {
+  std::vector<Method> methods;
+  auto add = [&](Anonymizer* a, bool timestamps, bool record) {
+    methods.push_back(
+        Method{std::unique_ptr<Anonymizer>(a), timestamps, record});
+  };
+  SignatureClosureConfig sc;
+  sc.m = 10;
+  add(new SignatureClosure(sc), true, true);
+  for (const double alpha : {0.1, 0.5, 1.0, 3.0, 5.0}) {
+    SignatureClosureConfig rsc;
+    rsc.m = 10;
+    rsc.radius = alpha * 1000.0;
+    add(new SignatureClosure(rsc), true, true);
+  }
+  W4mConfig w4m;
+  w4m.k = 5;
+  add(new W4m(w4m), true, true);
+  GloveConfig glove;
+  glove.k = 5;
+  add(new Glove(glove), true, true);
+  GloveConfig klt = glove;
+  klt.semantic = true;
+  klt.l = 3;
+  klt.t = 0.1;
+  add(new Glove(klt, network), true, true);
+  DptConfig dpt;
+  dpt.epsilon = 1.0;
+  add(new Dpt(dpt), false, false);
+  AdaTraceConfig ada;
+  ada.epsilon = 1.0;
+  add(new AdaTrace(ada), false, false);
+  {
+    FrequencyRandomizerConfig cfg;
+    cfg.m = 10;
+    cfg.epsilon_global = 1.0;
+    cfg.epsilon_local = 0.0;
+    add(new FrequencyRandomizer(cfg), true, true);  // PureG
+  }
+  {
+    FrequencyRandomizerConfig cfg;
+    cfg.m = 10;
+    cfg.epsilon_global = 0.0;
+    cfg.epsilon_local = 1.0;
+    add(new FrequencyRandomizer(cfg), true, true);  // PureL
+  }
+  {
+    FrequencyRandomizerConfig cfg;
+    cfg.m = 10;
+    cfg.epsilon_global = 0.5;
+    cfg.epsilon_local = 0.5;
+    add(new FrequencyRandomizer(cfg), true, true);  // GL
+  }
+  return methods;
+}
+
+/// One evaluated row of Table II.
+struct EvalRow {
+  std::string name;
+  double la_s = 0.0, la_t = 0.0, la_st = 0.0, la_sq = 0.0, mi = 0.0;
+  double inf = 0.0, de = 0.0, te = 0.0, ffp = 0.0;
+  RecoveryScores recovery;
+  bool has_timestamps = true;
+  bool record_level = true;
+  double anonymize_seconds = 0.0;
+};
+
+/// Runs one method through the full Table II evaluation.
+inline EvalRow EvaluateMethod(Method& method, const Workload& workload,
+                              const Linker& linker,
+                              const UtilityEvaluator& utility,
+                              uint64_t seed) {
+  EvalRow row;
+  row.name = method.anonymizer->name();
+  row.has_timestamps = method.has_timestamps;
+  row.record_level = method.record_level;
+  Rng rng(seed);
+  Stopwatch watch;
+  auto out = method.anonymizer->Anonymize(workload.dataset, rng);
+  row.anonymize_seconds = watch.ElapsedSeconds();
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", row.name.c_str(),
+                 out.status().ToString().c_str());
+    return row;
+  }
+  row.la_s = linker.LinkingAccuracy(*out, SignatureType::kSpatial);
+  row.la_sq = linker.LinkingAccuracy(*out, SignatureType::kSequential);
+  if (method.has_timestamps) {
+    row.la_t = linker.LinkingAccuracy(*out, SignatureType::kTemporal);
+    row.la_st =
+        linker.LinkingAccuracy(*out, SignatureType::kSpatioTemporal);
+  }
+  const UtilityScores u = utility.EvaluateAll(workload.dataset, *out);
+  row.mi = u.mi;
+  row.inf = u.inf;
+  row.de = u.de;
+  row.te = u.te;
+  row.ffp = u.ffp;
+  if (method.record_level) {
+    row.recovery = EvaluateRecovery(workload, *out);
+  }
+  return row;
+}
+
+/// Prints a metric line across methods ('-' for suppressed cells).
+inline void PrintMetricRow(const char* label,
+                           const std::vector<EvalRow>& rows,
+                           double (*getter)(const EvalRow&),
+                           bool needs_timestamps, bool needs_record) {
+  std::printf("%-10s", label);
+  for (const EvalRow& row : rows) {
+    const bool suppressed = (needs_timestamps && !row.has_timestamps) ||
+                            (needs_record && !row.record_level);
+    if (suppressed) {
+      std::printf(" %8s", "-");
+    } else {
+      std::printf(" %8.3f", getter(row));
+    }
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::vector<EvalRow>& rows) {
+  std::printf("%-10s", "Metric");
+  for (const EvalRow& row : rows) std::printf(" %8s", row.name.c_str());
+  std::printf("\n");
+}
+
+}  // namespace frt::bench
+
+#endif  // FRT_BENCH_BENCH_COMMON_H_

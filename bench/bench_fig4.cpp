@@ -1,0 +1,118 @@
+// Reproduces paper Fig. 4 (a-h): the impact of the privacy budget eps on
+// PureG / PureL / GL (|D| = 1000 in the paper; scaled default here).
+//
+// Panels: (a) LAs, (b) INF, (c) DE, (d) TE, (e) FFP, (f) route-based
+// F-score, (g) route-based RMF, (h) point-based Accuracy — each as a series
+// over eps in [0.1, 10]. GL always splits the budget evenly
+// (eps_G = eps_L = eps / 2), matching §V-B4.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace frt::bench {
+namespace {
+
+struct SeriesPoint {
+  double epsilon;
+  double la_s, inf, de, te, ffp, f_score, rmf, accuracy;
+};
+
+int Run() {
+  const bool full = FullScale();
+  const uint64_t seed = MasterSeed();
+  const int num_taxis = full ? 1000 : 160;
+  const int target_points = full ? 1813 : 200;
+  const std::vector<double> epsilons = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+
+  std::printf("=== Fig. 4 reproduction: impact of eps (|D| = %d) ===\n\n",
+              num_taxis);
+  Stopwatch total;
+  Workload workload = BuildWorkload(num_taxis, target_points, seed);
+  Linker linker(workload.dataset.Bounds());
+  linker.Train(workload.dataset);
+  UtilityEvaluator utility(workload.dataset.Bounds());
+
+  const char* variants[] = {"PureG", "PureL", "GL"};
+  std::vector<std::vector<SeriesPoint>> series(3);
+
+  for (int v = 0; v < 3; ++v) {
+    for (const double eps : epsilons) {
+      FrequencyRandomizerConfig cfg;
+      cfg.m = 10;
+      switch (v) {
+        case 0:
+          cfg.epsilon_global = eps;
+          cfg.epsilon_local = 0.0;
+          break;
+        case 1:
+          cfg.epsilon_global = 0.0;
+          cfg.epsilon_local = eps;
+          break;
+        default:
+          cfg.epsilon_global = eps / 2.0;
+          cfg.epsilon_local = eps / 2.0;
+          break;
+      }
+      FrequencyRandomizer randomizer(cfg);
+      Rng rng(seed);
+      auto out = randomizer.Anonymize(workload.dataset, rng);
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s eps=%.1f failed: %s\n", variants[v], eps,
+                     out.status().ToString().c_str());
+        continue;
+      }
+      SeriesPoint p{};
+      p.epsilon = eps;
+      p.la_s = linker.LinkingAccuracy(*out, SignatureType::kSpatial);
+      const UtilityScores u = utility.EvaluateAll(workload.dataset, *out);
+      p.inf = u.inf;
+      p.de = u.de;
+      p.te = u.te;
+      p.ffp = u.ffp;
+      const RecoveryScores rec = EvaluateRecovery(workload, *out);
+      p.f_score = rec.f_score;
+      p.rmf = rec.rmf;
+      p.accuracy = rec.accuracy;
+      series[v].push_back(p);
+      std::printf("  %s eps=%-4g done (%.1fs)\n", variants[v], eps,
+                  total.ElapsedSeconds());
+    }
+  }
+  std::printf("\n");
+
+  auto panel = [&](const char* title,
+                   double (*get)(const SeriesPoint&)) {
+    std::printf("%s\n", title);
+    std::printf("  %-8s", "eps");
+    for (const double eps : epsilons) std::printf(" %7.2f", eps);
+    std::printf("\n");
+    for (int v = 0; v < 3; ++v) {
+      std::printf("  %-8s", variants[v]);
+      for (const SeriesPoint& p : series[v]) std::printf(" %7.3f", get(p));
+      std::printf("\n");
+    }
+    std::printf("\n");
+  };
+
+  panel("(a) LAs vs eps", [](const SeriesPoint& p) { return p.la_s; });
+  panel("(b) INF vs eps", [](const SeriesPoint& p) { return p.inf; });
+  panel("(c) DE vs eps", [](const SeriesPoint& p) { return p.de; });
+  panel("(d) TE vs eps", [](const SeriesPoint& p) { return p.te; });
+  panel("(e) FFP vs eps", [](const SeriesPoint& p) { return p.ffp; });
+  panel("(f) Route-based F-score vs eps",
+        [](const SeriesPoint& p) { return p.f_score; });
+  panel("(g) Route-based RMF vs eps",
+        [](const SeriesPoint& p) { return p.rmf; });
+  panel("(h) Point-based Accuracy vs eps",
+        [](const SeriesPoint& p) { return p.accuracy; });
+
+  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace frt::bench
+
+int main() { return frt::bench::Run(); }

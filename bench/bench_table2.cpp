@@ -1,0 +1,106 @@
+// Reproduces paper Table II: "A summary of effectiveness evaluation
+// results (|D| = 1000 and eps = 1.0)".
+//
+// For every compared method this harness reports:
+//   Privacy:  LAs LAt LAst LAsq (linking accuracy per signature type), MI
+//   Utility:  INF DE TE FFP
+//   Recovery: Precision Recall F-score RMF Accuracy
+//
+// Default scale is |D| = 240 with ~220-point trajectories (minutes on a
+// laptop); FRT_SCALE=full restores the paper's |D| = 1000. A "Raw" column
+// (publish unmodified) is included as the no-protection reference, which
+// the paper leaves implicit.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace frt::bench {
+namespace {
+
+int Run() {
+  const bool full = FullScale();
+  const uint64_t seed = MasterSeed();
+  const int num_taxis = full ? 1000 : 240;
+  const int target_points = full ? 1813 : 220;
+
+  std::printf("=== Table II reproduction: |D| = %d, eps = 1.0, m = 10 ===\n",
+              num_taxis);
+  std::printf("(FRT_SCALE=%s, FRT_SEED=%llu)\n\n", full ? "full" : "default",
+              static_cast<unsigned long long>(seed));
+
+  Stopwatch total;
+  Workload workload = BuildWorkload(num_taxis, target_points, seed);
+  std::printf("workload: %zu taxis, %zu points, avg length %.0f "
+              "(built in %.1fs)\n\n",
+              workload.dataset.size(), workload.dataset.TotalPoints(),
+              workload.dataset.AvgLength(), total.ElapsedSeconds());
+
+  Linker linker(workload.dataset.Bounds());
+  linker.Train(workload.dataset);
+  UtilityEvaluator utility(workload.dataset.Bounds());
+
+  std::vector<EvalRow> rows;
+  {
+    // No-protection reference row.
+    Method raw{std::make_unique<IdentityAnonymizer>(), true, true};
+    rows.push_back(EvaluateMethod(raw, workload, linker, utility, seed));
+    std::printf("  evaluated %-9s (%.1fs)\n", "Raw",
+                total.ElapsedSeconds());
+  }
+  for (Method& method : TableTwoMethods(&workload.network)) {
+    rows.push_back(EvaluateMethod(method, workload, linker, utility, seed));
+    std::printf("  evaluated %-9s (%.1fs)\n", rows.back().name.c_str(),
+                total.ElapsedSeconds());
+  }
+  std::printf("\n");
+
+  PrintHeader(rows);
+  std::printf("--- Privacy ---\n");
+  PrintMetricRow("LAs", rows, [](const EvalRow& r) { return r.la_s; },
+                 false, false);
+  PrintMetricRow("LAt", rows, [](const EvalRow& r) { return r.la_t; },
+                 true, false);
+  PrintMetricRow("LAst", rows, [](const EvalRow& r) { return r.la_st; },
+                 true, false);
+  PrintMetricRow("LAsq", rows, [](const EvalRow& r) { return r.la_sq; },
+                 false, false);
+  PrintMetricRow("MI", rows, [](const EvalRow& r) { return r.mi; }, false,
+                 false);
+  std::printf("--- Utility ---\n");
+  PrintMetricRow("INF", rows, [](const EvalRow& r) { return r.inf; },
+                 false, false);
+  PrintMetricRow("DE", rows, [](const EvalRow& r) { return r.de; }, false,
+                 false);
+  PrintMetricRow("TE", rows, [](const EvalRow& r) { return r.te; }, false,
+                 false);
+  PrintMetricRow("FFP", rows, [](const EvalRow& r) { return r.ffp; },
+                 false, false);
+  std::printf("--- Recovery ---\n");
+  PrintMetricRow("Precision", rows,
+                 [](const EvalRow& r) { return r.recovery.precision; },
+                 false, true);
+  PrintMetricRow("Recall", rows,
+                 [](const EvalRow& r) { return r.recovery.recall; }, false,
+                 true);
+  PrintMetricRow("F-score", rows,
+                 [](const EvalRow& r) { return r.recovery.f_score; }, false,
+                 true);
+  PrintMetricRow("RMF", rows,
+                 [](const EvalRow& r) { return r.recovery.rmf; }, false,
+                 true);
+  PrintMetricRow("Accuracy", rows,
+                 [](const EvalRow& r) { return r.recovery.accuracy; },
+                 false, true);
+  std::printf("--- Cost ---\n");
+  PrintMetricRow("Anon(s)", rows,
+                 [](const EvalRow& r) { return r.anonymize_seconds; },
+                 false, false);
+  std::printf("\ntotal wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace frt::bench
+
+int main() { return frt::bench::Run(); }

@@ -1,0 +1,75 @@
+// Attack laboratory: run the two attacks the paper defends against —
+// signature-based re-identification and HMM map-matching recovery —
+// against raw data, signature removal (SC), and the paper's GL model.
+//
+//   build/examples/attack_lab
+
+#include <cstdio>
+
+#include "attack/linker.h"
+#include "attack/recovery_attack.h"
+#include "baselines/signature_closure.h"
+#include "core/pipeline.h"
+#include "synth/workload.h"
+
+namespace {
+
+void Report(const char* name, const frt::Workload& workload,
+            const frt::Dataset& published, const frt::Linker& linker) {
+  const double la_s =
+      linker.LinkingAccuracy(published, frt::SignatureType::kSpatial);
+  const double la_sq =
+      linker.LinkingAccuracy(published, frt::SignatureType::kSequential);
+  const frt::RecoveryScores rec =
+      frt::EvaluateRecovery(workload, published);
+  std::printf("%-6s | re-id: LAs=%.3f LAsq=%.3f | recovery: F=%.3f "
+              "RMF=%.3f point-Acc=%.3f\n",
+              name, la_s, la_sq, rec.f_score, rec.rmf, rec.accuracy);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("building city + fleet...\n");
+  frt::WorkloadConfig workload_config;
+  workload_config.num_taxis = 100;
+  workload_config.target_points = 180;
+  auto workload = frt::GenerateTaxiWorkload(workload_config,
+                                            frt::RoadGenConfig{}, 99);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("training the adversary's linking model on the original "
+              "data...\n\n");
+  frt::Linker linker(workload->dataset.Bounds());
+  linker.Train(workload->dataset);
+
+  // 1) Publish raw data: both attacks succeed.
+  Report("Raw", *workload, workload->dataset, linker);
+
+  // 2) Remove signature points (SC): re-identification drops, but the
+  //    route is still recoverable by map matching — the recovery attack
+  //    the paper warns about.
+  frt::SignatureClosureConfig sc_config;
+  sc_config.m = 10;
+  frt::SignatureClosure sc(sc_config);
+  frt::Rng rng_sc(5);
+  auto sc_out = sc.Anonymize(workload->dataset, rng_sc);
+  if (sc_out.ok()) Report("SC", *workload, *sc_out, linker);
+
+  // 3) The paper's GL model: frequency randomization defeats both.
+  frt::FrequencyRandomizerConfig gl_config;
+  gl_config.m = 10;
+  gl_config.epsilon_global = 0.5;
+  gl_config.epsilon_local = 0.5;
+  frt::FrequencyRandomizer gl(gl_config);
+  frt::Rng rng_gl(5);
+  auto gl_out = gl.Anonymize(workload->dataset, rng_gl);
+  if (gl_out.ok()) Report("GL", *workload, *gl_out, linker);
+
+  std::printf("\nsmaller LAs/point-Acc and larger RMF = better "
+              "protection.\n");
+  return 0;
+}

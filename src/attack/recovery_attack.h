@@ -1,0 +1,38 @@
+// Recovery attack driver (§V-B3): HMM map-matching of published
+// trajectories against the road network, scored against the generator's
+// ground-truth routes.
+
+#ifndef FRT_ATTACK_RECOVERY_ATTACK_H_
+#define FRT_ATTACK_RECOVERY_ATTACK_H_
+
+#include "roadnet/map_matcher.h"
+#include "roadnet/route_compare.h"
+#include "synth/workload.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// Dataset-level recovery scores (averaged per trajectory).
+struct RecoveryScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+  double rmf = 0.0;
+  double accuracy = 0.0;  ///< point-based
+  size_t evaluated = 0;   ///< trajectories with usable ground truth
+};
+
+/// \brief Runs the recovery attack on `published` and scores it against the
+/// workload's ground truth.
+///
+/// Each published trajectory is map-matched onto the road network; the
+/// reconstructed route is compared with the true route of the matching
+/// original trajectory (paired by id). Trajectories without ground truth
+/// (foreign ids) are skipped.
+RecoveryScores EvaluateRecovery(const Workload& workload,
+                                const Dataset& published,
+                                const MapMatchConfig& config = {});
+
+}  // namespace frt
+
+#endif  // FRT_ATTACK_RECOVERY_ATTACK_H_

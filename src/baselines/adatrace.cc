@@ -1,0 +1,241 @@
+#include "baselines/adatrace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "dp/laplace.h"
+#include "geo/bbox.h"
+
+namespace frt {
+namespace {
+
+// Density-adaptive two-layer grid: dense top cells subdivide further.
+struct AdaptiveGrid {
+  BBox region;
+  int top = 6;
+  std::vector<int> sub;       // per top cell: subdivision per side
+  std::vector<int> leaf_base;  // per top cell: first leaf id
+  int num_leaves = 0;
+  std::vector<BBox> leaf_box;  // per leaf
+
+  int TopCellOf(const Point& p) const {
+    const double w = std::max(region.Width(), 1e-9);
+    const double h = std::max(region.Height(), 1e-9);
+    int ix = static_cast<int>((p.x - region.min_x) / w * top);
+    int iy = static_cast<int>((p.y - region.min_y) / h * top);
+    ix = std::clamp(ix, 0, top - 1);
+    iy = std::clamp(iy, 0, top - 1);
+    return ix * top + iy;
+  }
+
+  int LeafOf(const Point& p) const {
+    const int tc = TopCellOf(p);
+    const int s = sub[tc];
+    const int tix = tc / top;
+    const int tiy = tc % top;
+    const double w = std::max(region.Width(), 1e-9) / top;
+    const double h = std::max(region.Height(), 1e-9) / top;
+    const double lx = p.x - (region.min_x + tix * w);
+    const double ly = p.y - (region.min_y + tiy * h);
+    int sx = static_cast<int>(lx / w * s);
+    int sy = static_cast<int>(ly / h * s);
+    sx = std::clamp(sx, 0, s - 1);
+    sy = std::clamp(sy, 0, s - 1);
+    return leaf_base[tc] + sx * s + sy;
+  }
+
+  void Finalize() {
+    leaf_base.resize(sub.size());
+    num_leaves = 0;
+    for (size_t c = 0; c < sub.size(); ++c) {
+      leaf_base[c] = num_leaves;
+      num_leaves += sub[c] * sub[c];
+    }
+    leaf_box.resize(num_leaves);
+    const double w = std::max(region.Width(), 1e-9) / top;
+    const double h = std::max(region.Height(), 1e-9) / top;
+    for (int tc = 0; tc < top * top; ++tc) {
+      const int s = sub[tc];
+      const int tix = tc / top;
+      const int tiy = tc % top;
+      for (int sx = 0; sx < s; ++sx) {
+        for (int sy = 0; sy < s; ++sy) {
+          BBox b;
+          b.min_x = region.min_x + tix * w + sx * w / s;
+          b.min_y = region.min_y + tiy * h + sy * h / s;
+          b.max_x = b.min_x + w / s;
+          b.max_y = b.min_y + h / s;
+          leaf_box[leaf_base[tc] + sx * s + sy] = b;
+        }
+      }
+    }
+  }
+};
+
+int64_t SampleWeighted(const std::unordered_map<int64_t, double>& w,
+                       Rng& rng) {
+  double total = 0.0;
+  for (const auto& [k, v] : w) total += v;
+  if (total <= 0.0) return -1;
+  double roll = rng.Uniform() * total;
+  for (const auto& [k, v] : w) {
+    roll -= v;
+    if (roll <= 0.0) return k;
+  }
+  return w.begin()->first;
+}
+
+}  // namespace
+
+Result<Dataset> AdaTrace::Anonymize(const Dataset& input, Rng& rng) {
+  if (input.empty()) return Status::InvalidArgument("empty dataset");
+  const double eps_part = config_.epsilon / 4.0;
+
+  // ---- Feature 1: density-adaptive grid ----
+  AdaptiveGrid grid;
+  grid.region = input.Bounds();
+  grid.top = config_.top_cells;
+  std::vector<double> top_counts(grid.top * grid.top, 0.0);
+  {
+    AdaptiveGrid probe = grid;  // top-cell addressing needs sub=1 everywhere
+    probe.sub.assign(grid.top * grid.top, 1);
+    for (const auto& t : input.trajectories()) {
+      for (const auto& tp : t.points()) {
+        top_counts[probe.TopCellOf(tp.p)] += 1.0;
+      }
+    }
+  }
+  grid.sub.resize(top_counts.size());
+  for (size_t c = 0; c < top_counts.size(); ++c) {
+    const double noisy =
+        std::max(0.0, top_counts[c] + rng.Laplace(0.0, 1.0 / eps_part));
+    const int s = static_cast<int>(
+        std::ceil(std::sqrt(noisy * config_.subdivision_factor)));
+    grid.sub[c] = std::clamp(s, 1, config_.max_subdivision);
+  }
+  grid.Finalize();
+
+  // Collapsed leaf sequences.
+  std::vector<std::vector<int>> seqs;
+  seqs.reserve(input.size());
+  size_t max_len = 1;
+  for (const auto& t : input.trajectories()) {
+    std::vector<int> s;
+    for (const auto& tp : t.points()) {
+      const int leaf = grid.LeafOf(tp.p);
+      if (s.empty() || s.back() != leaf) s.push_back(leaf);
+    }
+    if (!s.empty()) {
+      max_len = std::max(max_len, s.size());
+      seqs.push_back(std::move(s));
+    }
+  }
+
+  // ---- Feature 2: first-order Markov mobility model ----
+  std::unordered_map<int64_t, std::unordered_map<int64_t, double>> markov;
+  for (const auto& s : seqs) {
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      markov[s[i]][s[i + 1]] += 1.0;
+    }
+  }
+  for (auto& [from, row] : markov) {
+    for (auto& [to, c] : row) {
+      c = std::max(0.0, c + rng.Laplace(0.0, 1.0 / eps_part));
+    }
+  }
+
+  // ---- Feature 3: trip distribution ----
+  std::unordered_map<int64_t, double> trips;  // (start<<32 | end)
+  for (const auto& s : seqs) {
+    trips[(static_cast<int64_t>(s.front()) << 32) |
+          static_cast<uint32_t>(s.back())] += 1.0;
+  }
+  for (auto& [k, c] : trips) {
+    c = std::max(0.0, c + rng.Laplace(0.0, 1.0 / eps_part));
+  }
+
+  // ---- Feature 4: length distribution ----
+  const size_t bins = std::min<size_t>(48, max_len);
+  const double bin_w = static_cast<double>(max_len) / bins;
+  std::vector<double> len_hist(bins, 0.0);
+  for (const auto& s : seqs) {
+    size_t b = static_cast<size_t>((s.size() - 1) / bin_w);
+    if (b >= bins) b = bins - 1;
+    len_hist[b] += 1.0;
+  }
+  for (double& v : len_hist) {
+    v = std::max(0.0, v + rng.Laplace(0.0, 1.0 / eps_part));
+  }
+
+  // ---- Synthesis ----
+  auto leaf_center = [&](int leaf) { return grid.leaf_box[leaf].Center(); };
+  auto sample_length = [&]() -> size_t {
+    double total = 0.0;
+    for (const double v : len_hist) total += v;
+    if (total <= 0.0) return 8;
+    double roll = rng.Uniform() * total;
+    for (size_t b = 0; b < bins; ++b) {
+      roll -= len_hist[b];
+      if (roll <= 0.0) {
+        return static_cast<size_t>((static_cast<double>(b) + 0.5) * bin_w) +
+               1;
+      }
+    }
+    return max_len;
+  };
+
+  const double city_diag = grid.region.Diagonal();
+  Dataset output;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const int64_t trip = SampleWeighted(trips, rng);
+    int cur = trip < 0 ? 0 : static_cast<int>(trip >> 32);
+    const int goal =
+        trip < 0 ? cur : static_cast<int>(trip & 0xffffffffLL);
+    const size_t want = std::max<size_t>(2, sample_length());
+    const Point goal_p = leaf_center(goal);
+
+    Trajectory traj(static_cast<TrajId>(i));
+    int64_t t = 0;
+    for (size_t step = 0; step < want; ++step) {
+      const BBox& box = grid.leaf_box[cur];
+      const Point c = box.Center();
+      traj.Append(Point{c.x + rng.Uniform(-0.35, 0.35) * box.Width(),
+                        c.y + rng.Uniform(-0.35, 0.35) * box.Height()},
+                  t);
+      t += config_.sampling_period;
+      if (step + 1 >= want) break;
+      if (step + 2 == want) {
+        cur = goal;  // arrive exactly at the sampled destination
+        continue;
+      }
+      auto row = markov.find(cur);
+      if (row == markov.end() || row->second.empty()) {
+        cur = goal;
+        continue;
+      }
+      // Utility-aware walk: Markov probabilities biased toward reaching
+      // the destination within the remaining steps.
+      const double remaining = static_cast<double>(want - step - 1);
+      std::unordered_map<int64_t, double> biased;
+      for (const auto& [to, w] : row->second) {
+        const double d = Distance(leaf_center(static_cast<int>(to)), goal_p);
+        const double reach_scale =
+            std::max(city_diag * remaining / static_cast<double>(want),
+                     1e-3);
+        biased[to] = w * std::exp(-d / reach_scale);
+      }
+      const int64_t next = SampleWeighted(biased, rng);
+      if (next < 0) {
+        cur = goal;
+      } else {
+        cur = static_cast<int>(next);
+      }
+    }
+    FRT_RETURN_IF_ERROR(output.Add(std::move(traj)));
+  }
+  return output;
+}
+
+}  // namespace frt

@@ -1,0 +1,76 @@
+#include "baselines/alignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frt {
+
+std::vector<Point> ResampleEqualArc(const Trajectory& t, int n) {
+  std::vector<Point> out;
+  out.reserve(n);
+  if (t.empty() || n <= 0) return out;
+  if (t.size() == 1 || n == 1) {
+    out.assign(std::max(1, n), t[0].p);
+    return out;
+  }
+  const double total = std::max(t.Length(), 1e-9);
+  const double step = total / (n - 1);
+  size_t seg = 0;
+  double seg_start = 0.0;
+  double seg_len = Distance(t[0].p, t[1].p);
+  for (int i = 0; i < n; ++i) {
+    const double target = std::min(step * i, total);
+    while (seg + 2 < t.size() && seg_start + seg_len < target) {
+      seg_start += seg_len;
+      ++seg;
+      seg_len = Distance(t[seg].p, t[seg + 1].p);
+    }
+    const double frac =
+        seg_len > 0.0 ? std::clamp((target - seg_start) / seg_len, 0.0, 1.0)
+                      : 0.0;
+    out.push_back(Lerp(t[seg].p, t[seg + 1].p, frac));
+  }
+  return out;
+}
+
+double AlignedShapeDistance(const std::vector<Point>& a,
+                            const std::vector<Point>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += Distance(a[i], b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+std::vector<std::vector<size_t>> GreedyClusterByShape(
+    const std::vector<std::vector<Point>>& shapes, int k) {
+  const size_t n = shapes.size();
+  std::vector<int> cluster_of(n, -1);
+  std::vector<std::vector<size_t>> clusters;
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (cluster_of[seed] != -1) continue;
+    std::vector<std::pair<double, size_t>> cands;
+    for (size_t j = 0; j < n; ++j) {
+      if (cluster_of[j] != -1 || j == seed) continue;
+      cands.emplace_back(AlignedShapeDistance(shapes[seed], shapes[j]), j);
+    }
+    std::sort(cands.begin(), cands.end());
+    std::vector<size_t> members{seed};
+    for (int c = 0; c + 1 < k && c < static_cast<int>(cands.size()); ++c) {
+      members.push_back(cands[c].second);
+    }
+    if (static_cast<int>(members.size()) < k && !clusters.empty()) {
+      const int last = static_cast<int>(clusters.size()) - 1;
+      for (const size_t mbr : members) {
+        cluster_of[mbr] = last;
+        clusters[last].push_back(mbr);
+      }
+      continue;
+    }
+    const int cid = static_cast<int>(clusters.size());
+    for (const size_t mbr : members) cluster_of[mbr] = cid;
+    clusters.push_back(std::move(members));
+  }
+  return clusters;
+}
+
+}  // namespace frt

@@ -1,0 +1,30 @@
+// Shared trajectory-alignment helpers for the clustering-based baselines
+// (W4M, GLOVE, KLT): equal-arc resampling and index-aligned average
+// distance.
+
+#ifndef FRT_BASELINES_ALIGNMENT_H_
+#define FRT_BASELINES_ALIGNMENT_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace frt {
+
+/// Resamples the trajectory's polyline to `n` equally spaced positions.
+std::vector<Point> ResampleEqualArc(const Trajectory& t, int n);
+
+/// Mean Euclidean distance between two equal-length aligned shapes.
+double AlignedShapeDistance(const std::vector<Point>& a,
+                            const std::vector<Point>& b);
+
+/// \brief Greedy clustering into groups of >= k by aligned-shape distance:
+/// the lowest unassigned index seeds a cluster and absorbs its k-1 nearest
+/// unassigned trajectories; a leftover tail smaller than k joins the last
+/// cluster. Returns cluster membership lists.
+std::vector<std::vector<size_t>> GreedyClusterByShape(
+    const std::vector<std::vector<Point>>& shapes, int k);
+
+}  // namespace frt
+
+#endif  // FRT_BASELINES_ALIGNMENT_H_

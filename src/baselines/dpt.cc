@@ -1,0 +1,182 @@
+#include "baselines/dpt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "dp/laplace.h"
+#include "geo/grid.h"
+
+namespace frt {
+namespace {
+
+using CellSeq = std::vector<uint32_t>;
+
+// Collapsed cell sequence of a trajectory at the reference resolution.
+CellSeq ToCells(const Trajectory& t, const GridSpec& grid, int level) {
+  CellSeq out;
+  const int64_t res = grid.Resolution(level);
+  for (const auto& tp : t.points()) {
+    const CellCoord c = grid.CellAt(tp.p, level);
+    const uint32_t id = static_cast<uint32_t>(c.ix * res + c.iy);
+    if (out.empty() || out.back() != id) out.push_back(id);
+  }
+  return out;
+}
+
+// A prefix-tree context: the last (up to h-1) cells. Encoded as a vector
+// key in an ordered map for deterministic iteration.
+struct NoisyModel {
+  // context -> (next cell -> noisy count), contexts of length 0..h-1.
+  std::map<CellSeq, std::unordered_map<uint32_t, double>> transitions;
+  std::vector<double> length_hist;  // noisy histogram of sequence lengths
+  double length_bin_width = 1.0;
+};
+
+}  // namespace
+
+Result<Dataset> Dpt::Anonymize(const Dataset& input, Rng& rng) {
+  if (input.empty()) return Status::InvalidArgument("empty dataset");
+  if (config_.tree_height < 1) {
+    return Status::InvalidArgument("tree_height must be >= 1");
+  }
+
+  BBox region = input.Bounds();
+  GridSpec grid(region, config_.grid_level + 1);
+  const int level = config_.grid_level;
+  const int64_t res = grid.Resolution(level);
+
+  std::vector<CellSeq> sequences;
+  sequences.reserve(input.size());
+  size_t max_len = 1;
+  for (const auto& t : input.trajectories()) {
+    sequences.push_back(ToCells(t, grid, level));
+    max_len = std::max(max_len, sequences.back().size());
+  }
+
+  // Budget: half to the prefix tree (split across h levels), half to the
+  // length distribution.
+  const double eps_tree = 0.5 * config_.epsilon;
+  const double eps_level = eps_tree / config_.tree_height;
+  const double eps_len = 0.5 * config_.epsilon;
+  const double tree_scale = 1.0 / eps_level;  // Lap scale per tree count
+
+  // Count transitions for every context length 0..h-1 (the prefix tree:
+  // a node at depth d holds the count of its length-d context followed by
+  // each next cell).
+  NoisyModel model;
+  for (const CellSeq& seq : sequences) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (int ctx_len = 0; ctx_len < config_.tree_height; ++ctx_len) {
+        if (static_cast<size_t>(ctx_len) > i) break;
+        CellSeq ctx(seq.begin() + (i - ctx_len), seq.begin() + i);
+        model.transitions[ctx][seq[i]] += 1.0;
+      }
+    }
+  }
+
+  // Noise + prune.
+  const double prune_threshold =
+      config_.prune_sigmas * tree_scale * std::sqrt(2.0);
+  for (auto it = model.transitions.begin();
+       it != model.transitions.end();) {
+    auto& children = it->second;
+    for (auto cit = children.begin(); cit != children.end();) {
+      cit->second += rng.Laplace(0.0, tree_scale);
+      if (cit->second < prune_threshold) {
+        cit = children.erase(cit);
+      } else {
+        ++cit;
+      }
+    }
+    if (children.empty()) {
+      it = model.transitions.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Noisy length histogram.
+  const size_t bins = std::min<size_t>(64, max_len);
+  model.length_bin_width =
+      static_cast<double>(max_len) / static_cast<double>(bins);
+  model.length_hist.assign(bins, 0.0);
+  for (const CellSeq& seq : sequences) {
+    size_t b = static_cast<size_t>(static_cast<double>(seq.size() - 1) /
+                                   model.length_bin_width);
+    if (b >= bins) b = bins - 1;
+    model.length_hist[b] += 1.0;
+  }
+  for (double& v : model.length_hist) {
+    v = std::max(0.0, v + rng.Laplace(0.0, 1.0 / eps_len));
+  }
+
+  // --- Synthesis ---
+  auto sample_from = [&rng](const std::unordered_map<uint32_t, double>& w)
+      -> int64_t {
+    double total = 0.0;
+    for (const auto& [k, v] : w) total += v;
+    if (total <= 0.0) return -1;
+    double roll = rng.Uniform() * total;
+    for (const auto& [k, v] : w) {
+      roll -= v;
+      if (roll <= 0.0) return k;
+    }
+    return w.begin()->first;
+  };
+  auto sample_length = [&]() -> size_t {
+    double total = 0.0;
+    for (const double v : model.length_hist) total += v;
+    if (total <= 0.0) return 16;
+    double roll = rng.Uniform() * total;
+    for (size_t b = 0; b < model.length_hist.size(); ++b) {
+      roll -= model.length_hist[b];
+      if (roll <= 0.0) {
+        return static_cast<size_t>((static_cast<double>(b) + 0.5) *
+                                   model.length_bin_width) +
+               1;
+      }
+    }
+    return model.length_hist.size();
+  };
+
+  const double cell_w = region.Width() / static_cast<double>(res);
+  const double cell_h = region.Height() / static_cast<double>(res);
+  Dataset output;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const size_t want = std::max<size_t>(2, sample_length());
+    CellSeq seq;
+    while (seq.size() < want) {
+      int64_t next = -1;
+      // Deepest available context first (prefix-tree descent with backoff).
+      const int max_ctx = std::min<int>(config_.tree_height - 1,
+                                        static_cast<int>(seq.size()));
+      for (int ctx_len = max_ctx; ctx_len >= 0 && next < 0; --ctx_len) {
+        CellSeq ctx(seq.end() - ctx_len, seq.end());
+        auto it = model.transitions.find(ctx);
+        if (it != model.transitions.end()) next = sample_from(it->second);
+      }
+      if (next < 0) break;  // tree exhausted (heavy pruning)
+      seq.push_back(static_cast<uint32_t>(next));
+    }
+    Trajectory traj(static_cast<TrajId>(i));
+    int64_t t = 0;
+    for (const uint32_t cell : seq) {
+      const int32_t ix = static_cast<int32_t>(cell / res);
+      const int32_t iy = static_cast<int32_t>(cell % res);
+      const Point center =
+          grid.CellCenter(CellCoord{level, ix, iy});
+      // Jitter within the cell keeps synthetic points from stacking.
+      const Point p{center.x + rng.Uniform(-0.3, 0.3) * cell_w,
+                    center.y + rng.Uniform(-0.3, 0.3) * cell_h};
+      traj.Append(p, t);
+      t += config_.sampling_period;
+    }
+    FRT_RETURN_IF_ERROR(output.Add(std::move(traj)));
+  }
+  return output;
+}
+
+}  // namespace frt

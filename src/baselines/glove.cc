@@ -1,0 +1,154 @@
+#include "baselines/glove.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/alignment.h"
+#include "geo/bbox.h"
+
+namespace frt {
+namespace {
+
+// Category histogram of road nodes within `radius` of `center`.
+std::array<double, kNumPoiCategories> CategoriesNear(const RoadNetwork& net,
+                                                     const Point& center,
+                                                     double radius) {
+  std::array<double, kNumPoiCategories> hist{};
+  for (const EdgeId e : net.EdgesNear(center, radius)) {
+    const RoadEdge& edge = net.edge(e);
+    for (const NodeId nid : {edge.u, edge.v}) {
+      const RoadNode& node = net.node(nid);
+      if (Distance(node.p, center) <= radius) {
+        hist[static_cast<int>(node.category)] += 1.0;
+      }
+    }
+  }
+  return hist;
+}
+
+int DistinctCategories(const std::array<double, kNumPoiCategories>& hist) {
+  int n = 0;
+  for (const double v : hist) {
+    if (v > 0.0) ++n;
+  }
+  return n;
+}
+
+// Total-variation distance between two category distributions.
+double CategoryTvd(const std::array<double, kNumPoiCategories>& a,
+                   const std::array<double, kNumPoiCategories>& b) {
+  double ta = 0.0;
+  double tb = 0.0;
+  for (const double v : a) ta += v;
+  for (const double v : b) tb += v;
+  if (ta <= 0.0 || tb <= 0.0) return 1.0;
+  double tvd = 0.0;
+  for (int i = 0; i < kNumPoiCategories; ++i) {
+    tvd += std::fabs(a[i] / ta - b[i] / tb);
+  }
+  return 0.5 * tvd;
+}
+
+}  // namespace
+
+Result<Dataset> Glove::Anonymize(const Dataset& input, Rng& rng) {
+  (void)rng;
+  if (input.empty()) return Status::InvalidArgument("empty dataset");
+  if (config_.semantic && network_ == nullptr) {
+    return Status::InvalidArgument("KLT requires a road network");
+  }
+  const size_t n = input.size();
+  const int T = config_.resample_points;
+
+  std::vector<std::vector<Point>> shapes(n);
+  for (size_t i = 0; i < n; ++i) {
+    shapes[i] = ResampleEqualArc(input[i], T);
+  }
+  const auto clusters = GreedyClusterByShape(shapes, std::max(2, config_.k));
+
+  // Global category distribution (for t-closeness).
+  std::array<double, kNumPoiCategories> global_hist{};
+  if (config_.semantic) {
+    for (const RoadNode& node : network_->nodes()) {
+      global_hist[static_cast<int>(node.category)] += 1.0;
+    }
+  }
+
+  Dataset output;
+  for (const auto& members : clusters) {
+    // Generalize each aligned sample: the merged region of the members'
+    // positions, published as its center. All members emit the identical
+    // generalized sequence, achieving k-anonymity by construction.
+    std::vector<Point> generalized(T);
+    for (int s = 0; s < T; ++s) {
+      BBox region;
+      for (const size_t m : members) region.Extend(shapes[m][s]);
+      Point center = region.Center();
+      if (config_.semantic) {
+        // l-diversity and t-closeness: grow the region until it covers at
+        // least l POI categories whose mix is within t of the global one.
+        double radius =
+            std::max(region.Diagonal() * 0.5, config_.grow_step);
+        while (radius < config_.max_region_radius) {
+          const auto hist = CategoriesNear(*network_, center, radius);
+          if (DistinctCategories(hist) >= config_.l &&
+              CategoryTvd(hist, global_hist) <= config_.t) {
+            break;
+          }
+          radius += config_.grow_step;
+        }
+        // The published sample is the category-balanced centroid of the
+        // covered nodes — shifting it toward the semantic mixture (this is
+        // KLT's extra utility cost relative to GLOVE).
+        double sx = 0.0;
+        double sy = 0.0;
+        double cnt = 0.0;
+        for (const EdgeId e : network_->EdgesNear(center, radius)) {
+          const RoadEdge& edge = network_->edge(e);
+          for (const NodeId nid : {edge.u, edge.v}) {
+            const RoadNode& node = network_->node(nid);
+            if (Distance(node.p, center) <= radius) {
+              sx += node.p.x;
+              sy += node.p.y;
+              cnt += 1.0;
+            }
+          }
+        }
+        if (cnt > 0.0) center = Point{sx / cnt, sy / cnt};
+      }
+      generalized[s] = center;
+    }
+
+    // Generalized timestamps: the cluster's common window, evenly sampled —
+    // every member publishes identical times, which is what collapses the
+    // temporal signature (paper: GLOVE/KLT reach LAt < 0.01).
+    int64_t t0 = std::numeric_limits<int64_t>::max();
+    int64_t t1 = std::numeric_limits<int64_t>::min();
+    for (const size_t m : members) {
+      const Trajectory& traj = input[m];
+      if (traj.empty()) continue;
+      t0 = std::min(t0, traj.points().front().t);
+      t1 = std::max(t1, traj.points().back().t);
+    }
+    if (t0 > t1) {
+      t0 = 0;
+      t1 = T - 1;
+    }
+    for (const size_t m : members) {
+      Trajectory out(input[m].id());
+      for (int s = 0; s < T; ++s) {
+        const int64_t t =
+            t0 + (t1 - t0) * static_cast<int64_t>(s) /
+                     std::max<int64_t>(1, T - 1);
+        out.Append(generalized[s], t);
+      }
+      FRT_RETURN_IF_ERROR(output.Add(std::move(out)));
+    }
+  }
+  return output;
+}
+
+}  // namespace frt

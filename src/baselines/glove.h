@@ -1,0 +1,58 @@
+// GLOVE (Gramaglia & Fiore 2015) — k-anonymity via spatiotemporal
+// generalization: similar trajectories are merged until every group holds k
+// members; each published sample is the generalization (merged region) of
+// the group's aligned samples, so all members of a group are mutually
+// indistinguishable.
+//
+// KLT (Tu et al. 2019) extends GLOVE with l-diversity and t-closeness over
+// POI semantic categories: each generalized region is enlarged until it
+// covers at least l categories and its category mix stays within t of the
+// city-wide distribution — trading extra utility loss for semantic privacy.
+
+#ifndef FRT_BASELINES_GLOVE_H_
+#define FRT_BASELINES_GLOVE_H_
+
+#include "core/anonymizer.h"
+#include "roadnet/graph.h"
+
+namespace frt {
+
+/// Configuration for GLOVE / KLT.
+struct GloveConfig {
+  /// Anonymity set size (paper: k = 5).
+  int k = 5;
+  /// Generalized samples per published trajectory.
+  int resample_points = 48;
+  /// --- KLT extensions (enabled by `semantic`) ---
+  bool semantic = false;
+  /// Minimum distinct POI categories per generalized region (l-diversity).
+  int l = 3;
+  /// Maximum divergence between a region's category distribution and the
+  /// global one (t-closeness, total-variation distance).
+  double t = 0.1;
+  /// Region growth step and cap when enforcing l/t (meters).
+  double grow_step = 400.0;
+  double max_region_radius = 4000.0;
+};
+
+/// \brief GLOVE (and, with `semantic`, KLT) generalization anonymizer.
+class Glove : public Anonymizer {
+ public:
+  /// `network` supplies POI categories; required only for KLT (`semantic`).
+  Glove(GloveConfig config, const RoadNetwork* network = nullptr)
+      : config_(config), network_(network) {}
+
+  std::string name() const override {
+    return config_.semantic ? "KLT" : "GLOVE";
+  }
+
+  Result<Dataset> Anonymize(const Dataset& input, Rng& rng) override;
+
+ private:
+  GloveConfig config_;
+  const RoadNetwork* network_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_BASELINES_GLOVE_H_

@@ -1,0 +1,24 @@
+// Identity "anonymizer": returns the input unchanged. Used as the no-op
+// reference row in benches and as a control in tests.
+
+#ifndef FRT_BASELINES_IDENTITY_H_
+#define FRT_BASELINES_IDENTITY_H_
+
+#include "core/anonymizer.h"
+
+namespace frt {
+
+/// \brief Pass-through anonymizer (no protection at all).
+class IdentityAnonymizer : public Anonymizer {
+ public:
+  std::string name() const override { return "Raw"; }
+
+  Result<Dataset> Anonymize(const Dataset& input, Rng& rng) override {
+    (void)rng;
+    return input.Clone();
+  }
+};
+
+}  // namespace frt
+
+#endif  // FRT_BASELINES_IDENTITY_H_

@@ -1,0 +1,62 @@
+#include "baselines/signature_closure.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace frt {
+
+std::string SignatureClosure::name() const {
+  if (config_.radius <= 0.0) return "SC";
+  return StrFormat("RSC-%.1f", config_.radius / 1000.0);
+}
+
+Result<Dataset> SignatureClosure::Anonymize(const Dataset& input, Rng& rng) {
+  (void)rng;  // deterministic method
+  if (input.empty()) return Status::InvalidArgument("empty dataset");
+
+  BBox region = input.Bounds();
+  const double pad =
+      std::max(1.0, 0.01 * std::max(region.Width(), region.Height()));
+  region.min_x -= pad;
+  region.min_y -= pad;
+  region.max_x += pad;
+  region.max_y += pad;
+  Quantizer quantizer(region, config_.snap_levels);
+  quantizer.RegisterDataset(input);
+
+  SignatureExtractor extractor(&quantizer, config_.m);
+  FRT_ASSIGN_OR_RETURN(const SignatureSet signatures,
+                       extractor.Extract(input));
+
+  Dataset output;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const Trajectory& traj = input[i];
+    std::unordered_set<LocationKey> drop;
+    std::vector<Point> centers;
+    for (const WeightedLocation& wl : signatures.per_traj[i]) {
+      drop.insert(wl.key);
+      if (config_.radius > 0.0) centers.push_back(quantizer.PointOf(wl.key));
+    }
+    Trajectory kept(traj.id());
+    for (const TimedPoint& tp : traj.points()) {
+      if (drop.count(quantizer.KeyOf(tp.p)) > 0) continue;
+      if (config_.radius > 0.0) {
+        bool near = false;
+        for (const Point& c : centers) {
+          if (Distance(tp.p, c) <= config_.radius) {
+            near = true;
+            break;
+          }
+        }
+        if (near) continue;
+      }
+      kept.Append(tp);
+    }
+    FRT_RETURN_IF_ERROR(output.Add(std::move(kept)));
+  }
+  return output;
+}
+
+}  // namespace frt

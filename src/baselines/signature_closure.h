@@ -1,0 +1,47 @@
+// Signature closure baselines (paper §V-A, from [4]):
+//
+//   SC     — discards every occurrence of each trajectory's top-m signature
+//            points.
+//   RSC-a  — additionally discards every point within radius `a` of a
+//            signature point ("radius-based signature closure").
+//
+// These defeat direct signature linking but, as the paper's recovery
+// experiment shows, leave enough of the route intact for map-matching to
+// reconstruct the original trace.
+
+#ifndef FRT_BASELINES_SIGNATURE_CLOSURE_H_
+#define FRT_BASELINES_SIGNATURE_CLOSURE_H_
+
+#include "core/anonymizer.h"
+#include "core/signature.h"
+
+namespace frt {
+
+/// Configuration for SC / RSC.
+struct SignatureClosureConfig {
+  /// Signature size (paper: m = 10).
+  int m = 10;
+  /// Removal radius in meters around signature points; 0 = plain SC.
+  double radius = 0.0;
+  /// Snap levels defining location identity.
+  int snap_levels = 11;
+};
+
+/// \brief The SC / RSC anonymizer.
+class SignatureClosure : public Anonymizer {
+ public:
+  explicit SignatureClosure(SignatureClosureConfig config)
+      : config_(config) {}
+
+  /// "SC" or "RSC-<radius km>".
+  std::string name() const override;
+
+  Result<Dataset> Anonymize(const Dataset& input, Rng& rng) override;
+
+ private:
+  SignatureClosureConfig config_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_BASELINES_SIGNATURE_CLOSURE_H_

@@ -1,0 +1,85 @@
+#include "baselines/w4m.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/alignment.h"
+
+namespace frt {
+
+Result<Dataset> W4m::Anonymize(const Dataset& input, Rng& rng) {
+  (void)rng;
+  if (input.empty()) return Status::InvalidArgument("empty dataset");
+  const size_t n = input.size();
+  const int k = std::max(2, config_.k);
+
+  std::vector<std::vector<Point>> shapes(n);
+  for (size_t i = 0; i < n; ++i) {
+    shapes[i] = ResampleEqualArc(input[i], config_.resample_points);
+  }
+  const auto clusters = GreedyClusterByShape(shapes, k);
+  std::vector<int> cluster_of(n, -1);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (const size_t m : clusters[c]) cluster_of[m] = static_cast<int>(c);
+  }
+
+  // Pivot per cluster: the medoid under the aligned distance.
+  std::vector<size_t> pivot(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_m = clusters[c][0];
+    for (const size_t a : clusters[c]) {
+      double total = 0.0;
+      for (const size_t b : clusters[c]) {
+        if (a != b) total += AlignedShapeDistance(shapes[a], shapes[b]);
+      }
+      if (total < best) {
+        best = total;
+        best_m = a;
+      }
+    }
+    pivot[c] = best_m;
+  }
+
+  // Enforce the (k, delta) cylinder: every original point is pulled toward
+  // the pivot's aligned position until it lies within delta of it; points
+  // already inside the cylinder are published unchanged. Timestamps are
+  // aligned to the pivot's time window (W4M's spatiotemporal edit), so
+  // cluster members co-locate in time as well.
+  Dataset output;
+  for (size_t i = 0; i < n; ++i) {
+    const Trajectory& traj = input[i];
+    const size_t pivot_idx = pivot[cluster_of[i]];
+    const auto& pivot_shape = shapes[pivot_idx];
+    const Trajectory& pivot_traj = input[pivot_idx];
+    const int64_t pt0 =
+        pivot_traj.empty() ? 0 : pivot_traj.points().front().t;
+    const int64_t pt1 =
+        pivot_traj.empty() ? 0 : pivot_traj.points().back().t;
+    Trajectory out(traj.id());
+    const size_t len = traj.size();
+    for (size_t p = 0; p < len; ++p) {
+      const double frac =
+          len <= 1 ? 0.0
+                   : static_cast<double>(p) / static_cast<double>(len - 1);
+      const size_t pi = std::min<size_t>(
+          pivot_shape.size() - 1,
+          static_cast<size_t>(frac * (pivot_shape.size() - 1) + 0.5));
+      const Point& anchor = pivot_shape[pi];
+      Point moved = traj[p].p;
+      const double d = Distance(moved, anchor);
+      if (d > config_.delta) {
+        moved = Lerp(anchor, moved, config_.delta / d);
+      }
+      out.Append(moved,
+                 pt0 + static_cast<int64_t>(frac *
+                                            static_cast<double>(pt1 - pt0)));
+    }
+    FRT_RETURN_IF_ERROR(output.Add(std::move(out)));
+  }
+  return output;
+}
+
+}  // namespace frt

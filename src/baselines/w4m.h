@@ -1,0 +1,44 @@
+// W4M ("Wait for Me", Abul/Bonchi/Nanni 2010) — (k, delta)-anonymity.
+//
+// Trajectories are clustered into groups of at least k by spatiotemporal
+// similarity; within a cluster, every trajectory is perturbed just enough
+// to stay inside a cylinder of radius delta around the cluster pivot, so
+// each trip co-locates with k-1 others. Points already inside the cylinder
+// are untouched, which is why W4M preserves utility well (low INF) but
+// offers little protection against signature linking.
+
+#ifndef FRT_BASELINES_W4M_H_
+#define FRT_BASELINES_W4M_H_
+
+#include "core/anonymizer.h"
+
+namespace frt {
+
+/// Configuration for W4M.
+struct W4mConfig {
+  /// Anonymity set size (paper: k = 5).
+  int k = 5;
+  /// Cylinder radius in meters. Large enough that most points co-locate
+  /// already (W4M's defining utility advantage); only outliers get pulled.
+  double delta = 4000.0;
+  /// Alignment resolution: trajectories are resampled to this many
+  /// positions for distance computation and pivot alignment.
+  int resample_points = 48;
+};
+
+/// \brief The W4M (k, delta)-anonymizer.
+class W4m : public Anonymizer {
+ public:
+  explicit W4m(W4mConfig config) : config_(config) {}
+
+  std::string name() const override { return "W4M"; }
+
+  Result<Dataset> Anonymize(const Dataset& input, Rng& rng) override;
+
+ private:
+  W4mConfig config_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_BASELINES_W4M_H_

@@ -1,0 +1,76 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace frt {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("FRT_LOG_LEVEL");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+int EffectiveLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitLevelFromEnv();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(EffectiveLevel()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= EffectiveLevel()), level_(level) {
+  if (enabled_) {
+    // Keep only the basename to keep lines short.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace frt

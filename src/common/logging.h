@@ -1,0 +1,56 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Intentionally tiny: benches and examples print their own structured
+// output; logging exists for progress and warnings. Controlled globally via
+// SetLogLevel or the FRT_LOG_LEVEL environment variable (0=debug .. 4=off).
+
+#ifndef FRT_COMMON_LOGGING_H_
+#define FRT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace frt {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global level (initialized from FRT_LOG_LEVEL, default kWarning).
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace frt
+
+#define FRT_LOG(level)                                      \
+  ::frt::internal::LogMessage(::frt::LogLevel::k##level,    \
+                              __FILE__, __LINE__)
+
+#endif  // FRT_COMMON_LOGGING_H_

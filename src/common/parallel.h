@@ -1,0 +1,40 @@
+// Minimal data-parallel helper for embarrassingly parallel evaluation loops
+// (map-matching a dataset, scoring candidates). Static chunking over
+// std::thread; no shared mutable state is allowed inside `fn`.
+
+#ifndef FRT_COMMON_PARALLEL_H_
+#define FRT_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace frt {
+
+/// \brief Invokes fn(i) for i in [0, n) across hardware threads.
+///
+/// `fn` must be safe to call concurrently for distinct indices and must not
+/// throw. Results should be written to pre-sized per-index slots.
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& fn, unsigned num_threads = 0) {
+  if (n == 0) return;
+  unsigned workers = num_threads != 0 ? num_threads
+                                      : std::thread::hardware_concurrency();
+  if (workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (workers > n) workers = static_cast<unsigned>(n);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&fn, w, workers, n]() {
+      for (size_t i = w; i < n; i += workers) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace frt
+
+#endif  // FRT_COMMON_PARALLEL_H_

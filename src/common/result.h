@@ -1,0 +1,84 @@
+// Result<T>: value-or-Status, the FRT analogue of arrow::Result /
+// absl::StatusOr. Functions that can fail and produce a value return
+// Result<T>; use FRT_ASSIGN_OR_RETURN to unwrap inside Status-returning code.
+
+#ifndef FRT_COMMON_RESULT_H_
+#define FRT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace frt {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error Status. It is a programming error to
+  /// construct a Result from an OK status; that is remapped to Internal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback when in error state.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace frt
+
+#define FRT_CONCAT_IMPL(a, b) a##b
+#define FRT_CONCAT(a, b) FRT_CONCAT_IMPL(a, b)
+
+/// FRT_ASSIGN_OR_RETURN(lhs, rexpr): evaluates rexpr (a Result<T>); on error
+/// returns its Status from the enclosing function, otherwise move-assigns the
+/// value into lhs (which may be a declaration).
+#define FRT_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  FRT_ASSIGN_OR_RETURN_IMPL(FRT_CONCAT(_frt_result_, __LINE__), \
+                            lhs, rexpr)
+
+#define FRT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).value()
+
+#endif  // FRT_COMMON_RESULT_H_

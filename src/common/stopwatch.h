@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the efficiency benchmarks (Fig. 5 harness).
+
+#ifndef FRT_COMMON_STOPWATCH_H_
+#define FRT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace frt {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_COMMON_STOPWATCH_H_

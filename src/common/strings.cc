@@ -1,0 +1,96 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+namespace frt {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                   s[b] == '\n')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty numeric field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed double: '" + buf + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace frt

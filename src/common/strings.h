@@ -1,0 +1,38 @@
+// Small string helpers shared by CSV I/O and bench table printers.
+
+#ifndef FRT_COMMON_STRINGS_H_
+#define FRT_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace frt {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Parses a double; error Status on malformed/trailing input.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; error Status on malformed input.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace frt
+
+#endif  // FRT_COMMON_STRINGS_H_

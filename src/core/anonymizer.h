@@ -1,0 +1,33 @@
+// Common interface of every trajectory anonymization method in FRT (the
+// paper's mechanisms and all compared baselines), so the evaluation harness
+// can run Table II generically.
+
+#ifndef FRT_CORE_ANONYMIZER_H_
+#define FRT_CORE_ANONYMIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// \brief A trajectory anonymization method.
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+
+  /// Display name used in reports (e.g. "GL", "SC", "DPT").
+  virtual std::string name() const = 0;
+
+  /// Produces the anonymized dataset. The input is never modified. The
+  /// output preserves trajectory ids where the method is record-level
+  /// (ours, SC/RSC, W4M); generative methods (DPT, AdaTrace) emit fresh
+  /// synthetic trajectories with ids 0..n-1.
+  virtual Result<Dataset> Anonymize(const Dataset& input, Rng& rng) = 0;
+};
+
+}  // namespace frt
+
+#endif  // FRT_CORE_ANONYMIZER_H_

@@ -1,0 +1,109 @@
+#include "core/edit.h"
+
+namespace frt {
+
+EditableTrajectory::EditableTrajectory(const Trajectory& traj)
+    : id_(traj.id()) {
+  nodes_.reserve(traj.size() + 16);
+  NodeHandle prev = kInvalidNode;
+  for (const TimedPoint& tp : traj.points()) {
+    const NodeHandle h = static_cast<NodeHandle>(nodes_.size());
+    Node node;
+    node.tp = tp;
+    node.prev = prev;
+    node.alive = true;
+    nodes_.push_back(node);
+    if (prev != kInvalidNode) {
+      nodes_[prev].next = h;
+    } else {
+      head_ = h;
+    }
+    prev = h;
+  }
+  tail_ = prev;
+  num_alive_ = traj.size();
+}
+
+Result<NodeHandle> EditableTrajectory::InsertInto(NodeHandle left,
+                                                  const Point& q) {
+  if (!IsSegmentStart(left)) {
+    return Status::InvalidArgument("handle does not start a live segment");
+  }
+  const NodeHandle right = nodes_[left].next;
+  const NodeHandle h = static_cast<NodeHandle>(nodes_.size());
+  Node node;
+  node.tp.p = q;
+  node.tp.t = (nodes_[left].tp.t + nodes_[right].tp.t) / 2;
+  node.prev = left;
+  node.next = right;
+  node.alive = true;
+  nodes_.push_back(node);
+  nodes_[left].next = h;
+  nodes_[right].prev = h;
+  ++num_alive_;
+  return h;
+}
+
+NodeHandle EditableTrajectory::AppendPoint(const Point& q, int64_t t) {
+  const NodeHandle h = static_cast<NodeHandle>(nodes_.size());
+  Node node;
+  node.tp.p = q;
+  node.tp.t = t;
+  node.prev = tail_;
+  node.alive = true;
+  nodes_.push_back(node);
+  if (tail_ != kInvalidNode) {
+    nodes_[tail_].next = h;
+  } else {
+    head_ = h;
+  }
+  tail_ = h;
+  ++num_alive_;
+  return h;
+}
+
+Status EditableTrajectory::Delete(NodeHandle n) {
+  if (!IsAlive(n)) return Status::InvalidArgument("node not alive");
+  const NodeHandle p = nodes_[n].prev;
+  const NodeHandle x = nodes_[n].next;
+  if (p != kInvalidNode) nodes_[p].next = x;
+  if (x != kInvalidNode) nodes_[x].prev = p;
+  if (head_ == n) head_ = x;
+  if (tail_ == n) tail_ = p;
+  nodes_[n].alive = false;
+  nodes_[n].prev = kInvalidNode;
+  nodes_[n].next = kInvalidNode;
+  --num_alive_;
+  return Status::OK();
+}
+
+double EditableTrajectory::DeletionLoss(NodeHandle n) const {
+  const NodeHandle p = nodes_[n].prev;
+  const NodeHandle x = nodes_[n].next;
+  const Point& q = nodes_[n].tp.p;
+  if (p != kInvalidNode && x != kInvalidNode) {
+    return PointSegmentDistance(q, Segment{nodes_[p].tp.p, nodes_[x].tp.p});
+  }
+  if (p != kInvalidNode) return Distance(q, nodes_[p].tp.p);
+  if (x != kInvalidNode) return Distance(q, nodes_[x].tp.p);
+  return 0.0;  // deleting the sole remaining point
+}
+
+Trajectory EditableTrajectory::Materialize() const {
+  Trajectory out(id_);
+  for (NodeHandle n = head_; n != kInvalidNode; n = nodes_[n].next) {
+    out.Append(nodes_[n].tp);
+  }
+  return out;
+}
+
+std::vector<NodeHandle> EditableTrajectory::LiveNodes() const {
+  std::vector<NodeHandle> out;
+  out.reserve(num_alive_);
+  for (NodeHandle n = head_; n != kInvalidNode; n = nodes_[n].next) {
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace frt

@@ -1,0 +1,114 @@
+// Trajectory edit operations and their utility loss (paper §IV-A).
+//
+// Two primitives modify trajectories: OP_i inserts a new occurrence of a
+// point into a segment (loss = distance from the point to the segment,
+// Def. 5) and OP_d deletes an existing occurrence (loss = distance from the
+// deleted point to the reconnected segment, Def. 6).
+//
+// EditableTrajectory supports both in O(1) via a doubly-linked node list
+// with stable handles, so a segment index built over the trajectory stays
+// consistent across a batch of edits: the segment <a, b> is identified by
+// the handle of its left node `a`.
+
+#ifndef FRT_CORE_EDIT_H_
+#define FRT_CORE_EDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/segment.h"
+#include "traj/trajectory.h"
+
+namespace frt {
+
+/// Stable identifier of a point node inside an EditableTrajectory.
+using NodeHandle = int32_t;
+constexpr NodeHandle kInvalidNode = -1;
+
+/// \brief A trajectory under modification.
+class EditableTrajectory {
+ public:
+  explicit EditableTrajectory(const Trajectory& traj);
+
+  TrajId id() const { return id_; }
+
+  /// Live point count.
+  size_t NumPoints() const { return num_alive_; }
+
+  /// Handle of the first / last live node (kInvalidNode when empty).
+  NodeHandle Head() const { return head_; }
+  NodeHandle Tail() const { return tail_; }
+
+  /// Navigation. Handles must be alive.
+  NodeHandle Next(NodeHandle n) const { return nodes_[n].next; }
+  NodeHandle Prev(NodeHandle n) const { return nodes_[n].prev; }
+  bool IsAlive(NodeHandle n) const {
+    return n >= 0 && n < static_cast<NodeHandle>(nodes_.size()) &&
+           nodes_[n].alive;
+  }
+
+  const TimedPoint& PointAt(NodeHandle n) const { return nodes_[n].tp; }
+
+  /// True when `left` starts a segment (it is alive and not the tail).
+  bool IsSegmentStart(NodeHandle left) const {
+    return IsAlive(left) && nodes_[left].next != kInvalidNode;
+  }
+
+  /// Geometry of the segment starting at `left`.
+  Segment SegmentOf(NodeHandle left) const {
+    return Segment{nodes_[left].tp.p, nodes_[nodes_[left].next].tp.p};
+  }
+
+  /// \brief OP_i: inserts point q into the segment starting at `left`.
+  ///
+  /// The new node's timestamp is the midpoint of its neighbors'. Returns the
+  /// new node's handle. Utility loss (Def. 5) is dist(q, segment) — compute
+  /// it *before* the edit via InsertionLoss().
+  Result<NodeHandle> InsertInto(NodeHandle left, const Point& q);
+
+  /// \brief Appends q at the tail (used only when the trajectory has fewer
+  /// than two points and no segment exists).
+  NodeHandle AppendPoint(const Point& q, int64_t t);
+
+  /// \brief OP_d: deletes the node `n`, reconnecting its neighbors.
+  ///
+  /// Utility loss (Def. 6) — compute before the edit via DeletionLoss().
+  Status Delete(NodeHandle n);
+
+  /// Utility loss of inserting q into the segment starting at `left`
+  /// (Def. 5): dist(q, <left, next>).
+  double InsertionLoss(NodeHandle left, const Point& q) const {
+    return PointSegmentDistance(q, SegmentOf(left));
+  }
+
+  /// Utility loss of deleting node n (Def. 6): the distance from n's point
+  /// to the segment <prev, next> that replaces it. When n is an endpoint
+  /// the reconnected "segment" degenerates to the surviving neighbor point;
+  /// deleting the last remaining point costs 0.
+  double DeletionLoss(NodeHandle n) const;
+
+  /// Materializes the current state as an ordinary trajectory.
+  Trajectory Materialize() const;
+
+  /// All live node handles in order (head to tail).
+  std::vector<NodeHandle> LiveNodes() const;
+
+ private:
+  struct Node {
+    TimedPoint tp;
+    NodeHandle prev = kInvalidNode;
+    NodeHandle next = kInvalidNode;
+    bool alive = false;
+  };
+
+  std::vector<Node> nodes_;
+  NodeHandle head_ = kInvalidNode;
+  NodeHandle tail_ = kInvalidNode;
+  size_t num_alive_ = 0;
+  TrajId id_ = -1;
+};
+
+}  // namespace frt
+
+#endif  // FRT_CORE_EDIT_H_

@@ -1,0 +1,67 @@
+#include "core/global_mechanism.h"
+
+#include <cmath>
+
+#include "dp/laplace.h"
+
+namespace frt {
+
+Result<Dataset> GlobalMechanism::Apply(const Dataset& dataset,
+                                       const SignatureSet& signatures,
+                                       Rng& rng,
+                                       PrivacyAccountant* accountant,
+                                       GlobalReport* report) const {
+  const LaplaceMechanism mechanism(/*sensitivity=*/1.0, config_.epsilon);
+  FRT_RETURN_IF_ERROR(mechanism.Validate());
+  if (accountant != nullptr) {
+    FRT_RETURN_IF_ERROR(accountant->Spend(config_.epsilon, "global-TF"));
+  }
+
+  // Line 1: build the TF distribution over P from the *input* dataset.
+  const TrajectoryFrequency tf =
+      ComputeTrajectoryFrequency(dataset, *quantizer_);
+  const int64_t n = static_cast<int64_t>(dataset.size());
+
+  // Lines 2-6: perturb and round each TF value into [0, |D|].
+  FrequencyDelta delta;
+  for (const LocationKey key : signatures.candidate_set) {
+    auto it = tf.find(key);
+    const int64_t l = (it != tf.end()) ? it->second : 0;
+    const double noisy = mechanism.Perturb(rng, static_cast<double>(l));
+    const int64_t l_star = RoundToIntRange(noisy, 0, n);
+    if (l_star != l) delta[key] = l_star - l;
+    if (report != nullptr) {
+      report->total_abs_tf_change += std::llabs(l_star - l);
+      ++report->points_perturbed;
+    }
+  }
+
+  // Line 7: GlobalEdit — inter-trajectory modification over the dataset.
+  BBox region = dataset.Bounds();
+  const double pad =
+      std::max(1.0, 0.01 * std::max(region.Width(), region.Height()));
+  region.min_x -= pad;
+  region.min_y -= pad;
+  region.max_x += pad;
+  region.max_y += pad;
+  GridSpec grid(region, config_.grid_levels);
+
+  std::vector<EditableTrajectory> editables;
+  editables.reserve(dataset.size());
+  for (const Trajectory& t : dataset.trajectories()) {
+    editables.emplace_back(t);
+  }
+
+  InterTrajectoryModifier modifier(quantizer_, config_.strategy, grid);
+  ModifierStats stats;
+  FRT_RETURN_IF_ERROR(modifier.Apply(&editables, delta, &stats));
+  if (report != nullptr) report->edits.MergeFrom(stats);
+
+  Dataset output;
+  for (const EditableTrajectory& et : editables) {
+    FRT_RETURN_IF_ERROR(output.Add(et.Materialize()));
+  }
+  return output;
+}
+
+}  // namespace frt

@@ -1,0 +1,66 @@
+// Global TF randomization (paper Algorithm 1).
+//
+// The trajectory-frequency distribution L over the candidate set P is
+// perturbed with classic Laplace noise Lap(1/eps_G) (a point-counting query
+// over trajectories has sensitivity 1 under one-trajectory adjacency — the
+// paper's analysis), then rounded into [0, |D|]. Inter-trajectory
+// modification makes the dataset satisfy the noisy distribution L*: a TF
+// increase inserts the point into the nearest eligible trajectories, a TF
+// decrease removes the point entirely from the trajectories with the
+// cheapest complete-deletion loss (Def. 7/8).
+
+#ifndef FRT_CORE_GLOBAL_MECHANISM_H_
+#define FRT_CORE_GLOBAL_MECHANISM_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/modifier.h"
+#include "core/signature.h"
+#include "dp/accountant.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// Configuration of the global mechanism.
+struct GlobalMechanismConfig {
+  /// Privacy budget eps_G.
+  double epsilon = 0.5;
+  /// kNN strategy for inter-trajectory modification.
+  SearchStrategy strategy = SearchStrategy::kBottomUpDown;
+  /// Levels of the dataset-wide index grid (paper: 512x512 finest => 10).
+  int grid_levels = 10;
+};
+
+/// Diagnostics of one global-mechanism run.
+struct GlobalReport {
+  ModifierStats edits;
+  /// Total |l* - l| over P after rounding.
+  int64_t total_abs_tf_change = 0;
+  size_t points_perturbed = 0;
+};
+
+/// \brief The paper's global randomization mechanism.
+class GlobalMechanism {
+ public:
+  GlobalMechanism(const Quantizer* quantizer, GlobalMechanismConfig config)
+      : quantizer_(quantizer), config_(config) {}
+
+  /// Applies Algorithm 1. The TF distribution is rebuilt from `dataset`
+  /// (which may already be the output of the local mechanism — the two
+  /// mechanisms compose in either order); `signatures` only contributes the
+  /// candidate set P. Spends eps_G on `accountant` when provided.
+  Result<Dataset> Apply(const Dataset& dataset,
+                        const SignatureSet& signatures, Rng& rng,
+                        PrivacyAccountant* accountant,
+                        GlobalReport* report) const;
+
+  const GlobalMechanismConfig& config() const { return config_; }
+
+ private:
+  const Quantizer* quantizer_;
+  GlobalMechanismConfig config_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_CORE_GLOBAL_MECHANISM_H_

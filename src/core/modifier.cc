@@ -1,0 +1,312 @@
+#include "core/modifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace frt {
+namespace {
+
+// Sorted keys with negative (deletion) or positive (insertion) deltas; the
+// fixed order keeps the whole modification deterministic.
+std::vector<LocationKey> KeysWithSign(const FrequencyDelta& delta,
+                                      int sign) {
+  std::vector<LocationKey> keys;
+  for (const auto& [key, d] : delta) {
+    if ((sign < 0 && d < 0) || (sign > 0 && d > 0)) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Deletes node `n` from `et`, keeping `index` synchronized. Returns the
+// Def. 6 utility loss of the deletion.
+double DeleteNodeSync(EditableTrajectory* et, NodeHandle n,
+                      SegmentIndex* index,
+                      const std::function<SegmentHandle(NodeHandle)>& h) {
+  const double loss = et->DeletionLoss(n);
+  const NodeHandle p = et->Prev(n);
+  const NodeHandle x = et->Next(n);
+  if (x != kInvalidNode) (void)index->Remove(h(n));
+  if (p != kInvalidNode) (void)index->Remove(h(p));
+  (void)et->Delete(n);
+  if (p != kInvalidNode && x != kInvalidNode) {
+    (void)index->Insert(SegmentEntry{h(p), et->id(), et->SegmentOf(p)});
+  }
+  return loss;
+}
+
+// Inserts `q` into the segment starting at `left`, keeping `index`
+// synchronized. Returns the new node handle.
+NodeHandle InsertPointSync(EditableTrajectory* et, NodeHandle left,
+                           const Point& q, SegmentIndex* index,
+                           const std::function<SegmentHandle(NodeHandle)>& h) {
+  (void)index->Remove(h(left));
+  auto res = et->InsertInto(left, q);
+  const NodeHandle node = res.value();
+  (void)index->Insert(SegmentEntry{h(left), et->id(), et->SegmentOf(left)});
+  (void)index->Insert(SegmentEntry{h(node), et->id(), et->SegmentOf(node)});
+  return node;
+}
+
+// Greedy minimum-loss deletion of up to `count` occurrences from `nodes`
+// (all occurrences of one location in one trajectory). Recomputes losses
+// after every deletion because deleting one occurrence of a dwell run
+// changes its neighbors' reconnection cost.
+double GreedyDeleteOccurrences(
+    EditableTrajectory* et, std::vector<NodeHandle>* nodes, int64_t count,
+    SegmentIndex* index,
+    const std::function<SegmentHandle(NodeHandle)>& h, size_t* deletions) {
+  double loss = 0.0;
+  for (int64_t i = 0; i < count && !nodes->empty(); ++i) {
+    size_t best = 0;
+    double best_loss = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < nodes->size(); ++j) {
+      const double l = et->DeletionLoss((*nodes)[j]);
+      if (l < best_loss) {
+        best_loss = l;
+        best = j;
+      }
+    }
+    loss += DeleteNodeSync(et, (*nodes)[best], index, h);
+    (*nodes)[best] = nodes->back();
+    nodes->pop_back();
+    ++(*deletions);
+  }
+  return loss;
+}
+
+}  // namespace
+
+Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
+                                      const FrequencyDelta& delta,
+                                      ModifierStats* stats) const {
+  if (traj == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  if (delta.empty()) return Status::OK();
+  if (traj->NumPoints() == 0) {
+    // Degenerate input: no geometry to search; insertions simply extend
+    // the (empty) trajectory with the representative points.
+    for (const LocationKey key : KeysWithSign(delta, +1)) {
+      const Point q = quantizer_->PointOf(key);
+      for (int64_t i = 0; i < delta.at(key); ++i) {
+        if (traj->NumPoints() > 0) {
+          stats->utility_loss += Distance(q, traj->PointAt(traj->Tail()).p);
+        }
+        traj->AppendPoint(q, 0);
+        ++stats->insertions;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Index region: the trajectory's own extent, padded by two snap cells so
+  // representative points (cell centroids of this trajectory's locations)
+  // always fall strictly inside.
+  BBox region;
+  for (const NodeHandle n : traj->LiveNodes()) {
+    region.Extend(traj->PointAt(n).p);
+  }
+  const auto& snap_region = quantizer_->grid().region();
+  const double cell = std::max(snap_region.Width(), snap_region.Height()) /
+                      static_cast<double>(quantizer_->grid().Resolution(
+                          quantizer_->snap_level()));
+  const double pad = 2.0 * cell + 1.0;
+  region.min_x -= pad;
+  region.min_y -= pad;
+  region.max_x += pad;
+  region.max_y += pad;
+
+  GridSpec grid(region, grid_levels_);
+  auto index = MakeSegmentIndex(strategy_, grid);
+  auto handle_of = [](NodeHandle n) {
+    return static_cast<SegmentHandle>(static_cast<uint32_t>(n));
+  };
+  for (const NodeHandle n : traj->LiveNodes()) {
+    if (traj->IsSegmentStart(n)) {
+      FRT_RETURN_IF_ERROR(index->Insert(
+          SegmentEntry{handle_of(n), traj->id(), traj->SegmentOf(n)}));
+    }
+  }
+
+  // Occurrence lists for the keys that shrink.
+  std::unordered_map<LocationKey, std::vector<NodeHandle>> occurrences;
+  for (const NodeHandle n : traj->LiveNodes()) {
+    const LocationKey key = quantizer_->KeyOf(traj->PointAt(n).p);
+    auto it = delta.find(key);
+    if (it != delta.end() && it->second < 0) occurrences[key].push_back(n);
+  }
+
+  const uint64_t evals_before = index->distance_evaluations();
+
+  // Phase 1: deletions (Def. 10, NS^- comes from the occurrence list).
+  for (const LocationKey key : KeysWithSign(delta, -1)) {
+    auto it = occurrences.find(key);
+    if (it == occurrences.end()) continue;
+    stats->utility_loss += GreedyDeleteOccurrences(
+        traj, &it->second, -delta.at(key), index.get(), handle_of,
+        &stats->deletions);
+  }
+
+  // Phase 2: insertions (Def. 10, NS^+ via K-nearest segment search).
+  for (const LocationKey key : KeysWithSign(delta, +1)) {
+    int64_t remaining = delta.at(key);
+    const Point q = quantizer_->PointOf(key);
+    while (remaining > 0) {
+      if (traj->NumPoints() < 2) {
+        // No segment exists; extend at the tail (degenerate cost).
+        const double loss =
+            traj->NumPoints() == 0
+                ? 0.0
+                : Distance(q, traj->PointAt(traj->Tail()).p);
+        const int64_t t = traj->NumPoints() == 0
+                              ? 0
+                              : traj->PointAt(traj->Tail()).t;
+        const NodeHandle tail_before = traj->Tail();
+        traj->AppendPoint(q, t);
+        if (tail_before != kInvalidNode) {
+          FRT_RETURN_IF_ERROR(index->Insert(SegmentEntry{
+              handle_of(tail_before), traj->id(),
+              traj->SegmentOf(tail_before)}));
+        }
+        stats->utility_loss += loss;
+        ++stats->insertions;
+        --remaining;
+        continue;
+      }
+      SearchOptions options;
+      options.k = static_cast<size_t>(remaining);
+      options.group_by = GroupBy::kSegment;
+      const auto neighbors = index->KNearest(q, options);
+      ++stats->knn_searches;
+      if (neighbors.empty()) break;  // defensive; cannot happen with >=2 pts
+      for (const Neighbor& nb : neighbors) {
+        const NodeHandle left =
+            static_cast<NodeHandle>(static_cast<uint32_t>(nb.entry.handle));
+        InsertPointSync(traj, left, q, index.get(), handle_of);
+        stats->utility_loss += nb.dist;
+        ++stats->insertions;
+        --remaining;
+      }
+    }
+  }
+
+  stats->distance_evaluations +=
+      index->distance_evaluations() - evals_before;
+  return Status::OK();
+}
+
+Status InterTrajectoryModifier::Apply(std::vector<EditableTrajectory>* trajs,
+                                      const FrequencyDelta& delta,
+                                      ModifierStats* stats) const {
+  if (trajs == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  if (delta.empty() || trajs->empty()) return Status::OK();
+
+  auto index = MakeSegmentIndex(strategy_, grid_);
+  auto handle_of = [](size_t traj_idx, NodeHandle n) {
+    return (static_cast<SegmentHandle>(traj_idx) << 32) |
+           static_cast<uint32_t>(n);
+  };
+
+  for (size_t i = 0; i < trajs->size(); ++i) {
+    EditableTrajectory& et = (*trajs)[i];
+    for (const NodeHandle n : et.LiveNodes()) {
+      if (et.IsSegmentStart(n)) {
+        FRT_RETURN_IF_ERROR(index->Insert(
+            SegmentEntry{handle_of(i, n), et.id(), et.SegmentOf(n)}));
+      }
+    }
+  }
+
+  // Occurrence lists per (key in delta) per trajectory.
+  std::unordered_map<LocationKey,
+                     std::unordered_map<size_t, std::vector<NodeHandle>>>
+      occurrences;
+  for (size_t i = 0; i < trajs->size(); ++i) {
+    EditableTrajectory& et = (*trajs)[i];
+    for (const NodeHandle n : et.LiveNodes()) {
+      const LocationKey key = quantizer_->KeyOf(et.PointAt(n).p);
+      if (delta.count(key) > 0) occurrences[key][i].push_back(n);
+    }
+  }
+
+  // TrajId -> slot for result handling.
+  std::unordered_map<TrajId, size_t> slot_of;
+  for (size_t i = 0; i < trajs->size(); ++i) slot_of[(*trajs)[i].id()] = i;
+
+  const uint64_t evals_before = index->distance_evaluations();
+
+  // Phase 1: TF decreases — complete deletion of the point from the
+  // Delta_l trajectories with the smallest total deletion loss (Def. 8).
+  for (const LocationKey key : KeysWithSign(delta, -1)) {
+    auto oit = occurrences.find(key);
+    if (oit == occurrences.end()) continue;
+    auto& per_traj = oit->second;
+    const int64_t want = -delta.at(key);
+
+    std::vector<std::pair<double, size_t>> costs;  // (total loss, slot)
+    costs.reserve(per_traj.size());
+    for (const auto& [slot, nodes] : per_traj) {
+      double total = 0.0;
+      for (const NodeHandle n : nodes) {
+        total += (*trajs)[slot].DeletionLoss(n);
+      }
+      costs.emplace_back(total, slot);
+    }
+    std::sort(costs.begin(), costs.end());
+    const size_t take =
+        std::min<size_t>(costs.size(), static_cast<size_t>(want));
+    for (size_t c = 0; c < take; ++c) {
+      const size_t slot = costs[c].second;
+      EditableTrajectory& et = (*trajs)[slot];
+      auto per_handle = [&](NodeHandle n) { return handle_of(slot, n); };
+      auto& nodes = per_traj[slot];
+      stats->utility_loss += GreedyDeleteOccurrences(
+          &et, &nodes, static_cast<int64_t>(nodes.size()), index.get(),
+          per_handle, &stats->deletions);
+      per_traj.erase(slot);
+    }
+  }
+
+  // Phase 2: TF increases — insert the point once into each of the Delta_l
+  // nearest trajectories that do not currently contain it (Def. 8).
+  for (const LocationKey key : KeysWithSign(delta, +1)) {
+    const int64_t want = delta.at(key);
+    const Point q = quantizer_->PointOf(key);
+    std::unordered_set<TrajId> occupied;
+    auto oit = occurrences.find(key);
+    if (oit != occurrences.end()) {
+      for (const auto& [slot, nodes] : oit->second) {
+        if (!nodes.empty()) occupied.insert((*trajs)[slot].id());
+      }
+    }
+    SearchOptions options;
+    options.k = static_cast<size_t>(want);
+    options.group_by = GroupBy::kTrajectory;
+    options.filter = [&occupied](const SegmentEntry& e) {
+      return occupied.count(e.traj) == 0;
+    };
+    const auto neighbors = index->KNearest(q, options);
+    ++stats->knn_searches;
+    for (const Neighbor& nb : neighbors) {
+      const size_t slot = slot_of.at(nb.entry.traj);
+      const NodeHandle left =
+          static_cast<NodeHandle>(static_cast<uint32_t>(nb.entry.handle));
+      EditableTrajectory& et = (*trajs)[slot];
+      auto per_handle = [&](NodeHandle n) { return handle_of(slot, n); };
+      InsertPointSync(&et, left, q, index.get(), per_handle);
+      stats->utility_loss += nb.dist;
+      ++stats->insertions;
+    }
+  }
+
+  stats->distance_evaluations +=
+      index->distance_evaluations() - evals_before;
+  return Status::OK();
+}
+
+}  // namespace frt

@@ -1,0 +1,73 @@
+// Privacy accounting via sequential composition (paper Theorem 1).
+//
+// Mechanisms register their spend; the accountant enforces an optional total
+// budget and reports the consumed epsilon. The paper's GL pipeline composes
+// the global (epsilon_G) and local (epsilon_L) mechanisms sequentially, so
+// its guarantee is epsilon = epsilon_G + epsilon_L.
+
+#ifndef FRT_DP_ACCOUNTANT_H_
+#define FRT_DP_ACCOUNTANT_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace frt {
+
+/// \brief Ledger of sequentially composed epsilon spends.
+class PrivacyAccountant {
+ public:
+  /// Unbounded accountant (tracks but never rejects).
+  PrivacyAccountant() = default;
+
+  /// Accountant enforcing a hard total budget.
+  explicit PrivacyAccountant(double total_budget)
+      : total_budget_(total_budget), enforce_(true) {}
+
+  /// Registers a spend. Fails without recording when the budget would be
+  /// exceeded (enforcing accountants only).
+  Status Spend(double epsilon, std::string label) {
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon spend must be positive");
+    }
+    if (enforce_ && spent_ + epsilon > total_budget_ + 1e-12) {
+      return Status::FailedPrecondition(
+          "privacy budget exhausted: spent " + std::to_string(spent_) +
+          " + requested " + std::to_string(epsilon) + " > total " +
+          std::to_string(total_budget_));
+    }
+    spent_ += epsilon;
+    ledger_.push_back({epsilon, std::move(label)});
+    return Status::OK();
+  }
+
+  /// Total epsilon consumed so far (sequential composition).
+  double spent() const { return spent_; }
+
+  /// Remaining budget; +inf when not enforcing.
+  double remaining() const {
+    return enforce_ ? total_budget_ - spent_
+                    : std::numeric_limits<double>::infinity();
+  }
+
+  bool enforcing() const { return enforce_; }
+  double total_budget() const { return total_budget_; }
+
+  struct Entry {
+    double epsilon;
+    std::string label;
+  };
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+ private:
+  double total_budget_ = 0.0;
+  double spent_ = 0.0;
+  bool enforce_ = false;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_DP_ACCOUNTANT_H_

@@ -1,0 +1,89 @@
+// Axis-aligned bounding boxes and the point-rectangle MINdist of paper
+// Definition 12 / Equation (4), used by the hierarchical grid pruning rule
+// (Theorem 4).
+
+#ifndef FRT_GEO_BBOX_H_
+#define FRT_GEO_BBOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace frt {
+
+/// \brief Axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  /// An empty box (contains nothing; Extend() grows it).
+  static BBox Empty() { return BBox{}; }
+
+  /// Box spanning two corner points in any orientation.
+  static BBox Of(const Point& a, const Point& b) {
+    return BBox{std::min(a.x, b.x), std::min(a.y, b.y),
+                std::max(a.x, b.x), std::max(a.y, b.y)};
+  }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x - min_x; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y - min_y; }
+
+  /// Diagonal length; used as the trajectory-diameter upper bound.
+  double Diagonal() const {
+    if (IsEmpty()) return 0.0;
+    const double w = Width();
+    const double h = Height();
+    return std::sqrt(w * w + h * h);
+  }
+
+  Point Center() const {
+    return {(min_x + max_x) * 0.5, (min_y + max_y) * 0.5};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool ContainsSegment(const Segment& s) const {
+    return Contains(s.a) && Contains(s.b);
+  }
+
+  bool Intersects(const BBox& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y ||
+             o.max_y < min_y);
+  }
+
+  /// Grows the box to include `p`.
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void Extend(const BBox& o) {
+    if (o.IsEmpty()) return;
+    min_x = std::min(min_x, o.min_x);
+    min_y = std::min(min_y, o.min_y);
+    max_x = std::max(max_x, o.max_x);
+    max_y = std::max(max_y, o.max_y);
+  }
+};
+
+/// \brief MINdist(q, g): 0 when q is inside g, otherwise the distance to the
+/// closest edge of the rectangle — paper Definition 12 / Equation (4).
+inline double MinDistPointBBox(const Point& q, const BBox& g) {
+  const double dx = std::max({g.min_x - q.x, 0.0, q.x - g.max_x});
+  const double dy = std::max({g.min_y - q.y, 0.0, q.y - g.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace frt
+
+#endif  // FRT_GEO_BBOX_H_

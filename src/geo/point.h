@@ -1,0 +1,79 @@
+// Planar geometry primitives.
+//
+// FRT works in a projected planar coordinate system with coordinates in
+// meters (the synthetic city generator emits meters directly; real data
+// should be projected before ingestion). All distances are Euclidean.
+
+#ifndef FRT_GEO_POINT_H_
+#define FRT_GEO_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+namespace frt {
+
+/// \brief A 2-D point in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  /// Squared Euclidean norm.
+  double Norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+inline double Distance2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Linear interpolation between `a` and `b` at parameter t in [0, 1].
+inline Point Lerp(const Point& a, const Point& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// \brief A GPS sample: position plus a timestamp in seconds since epoch.
+struct TimedPoint {
+  Point p;
+  int64_t t = 0;  // seconds
+
+  friend bool operator==(const TimedPoint& a, const TimedPoint& b) {
+    return a.p == b.p && a.t == b.t;
+  }
+};
+
+}  // namespace frt
+
+namespace std {
+template <>
+struct hash<frt::Point> {
+  size_t operator()(const frt::Point& p) const {
+    const size_t hx = std::hash<double>()(p.x);
+    const size_t hy = std::hash<double>()(p.y);
+    return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};
+}  // namespace std
+
+#endif  // FRT_GEO_POINT_H_

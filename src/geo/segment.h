@@ -1,0 +1,43 @@
+// Line segments and the point-segment distance of paper Equation (3).
+
+#ifndef FRT_GEO_SEGMENT_H_
+#define FRT_GEO_SEGMENT_H_
+
+#include <algorithm>
+
+#include "geo/point.h"
+
+namespace frt {
+
+/// \brief A directed line segment <a, b>.
+struct Segment {
+  Point a;
+  Point b;
+
+  double Length() const { return Distance(a, b); }
+  Point Midpoint() const { return Lerp(a, b, 0.5); }
+};
+
+/// \brief Closest point on segment s to query point q (paper Eq. 3 argmin).
+inline Point ClosestPointOnSegment(const Point& q, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = d.Norm2();
+  if (len2 <= 0.0) return s.a;  // degenerate segment
+  double t = ((q.x - s.a.x) * d.x + (q.y - s.a.y) * d.y) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Lerp(s.a, s.b, t);
+}
+
+/// \brief dist(q, s) = min over points p̄ on s of dist(q, p̄) — paper Eq. 3.
+inline double PointSegmentDistance(const Point& q, const Segment& s) {
+  return Distance(q, ClosestPointOnSegment(q, s));
+}
+
+/// Squared variant for comparisons.
+inline double PointSegmentDistance2(const Point& q, const Segment& s) {
+  return Distance2(q, ClosestPointOnSegment(q, s));
+}
+
+}  // namespace frt
+
+#endif  // FRT_GEO_SEGMENT_H_

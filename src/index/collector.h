@@ -1,0 +1,125 @@
+// Result collectors shared by all search strategies.
+//
+// A collector receives candidate (segment, distance) pairs in arbitrary
+// order, maintains the current best-K according to the grouping mode, and
+// exposes the pruning threshold theta_K (paper Theorem 4): once K results
+// are held, any cell with MINdist > theta_K can be skipped safely.
+
+#ifndef FRT_INDEX_COLLECTOR_H_
+#define FRT_INDEX_COLLECTOR_H_
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "index/segment_index.h"
+
+namespace frt {
+
+/// \brief Best-K accumulator for a single KNearest call.
+class ResultCollector {
+ public:
+  ResultCollector(size_t k, GroupBy group_by) : k_(k), group_by_(group_by) {}
+
+  /// Offers a candidate. The caller has already applied the filter.
+  void Offer(const SegmentEntry& entry, double dist) {
+    if (k_ == 0) return;
+    if (group_by_ == GroupBy::kSegment) {
+      if (heap_.size() < k_) {
+        heap_.push({dist, entry});
+      } else if (dist < heap_.top().dist) {
+        heap_.pop();
+        heap_.push({dist, entry});
+      }
+      return;
+    }
+    // Trajectory mode: keep each trajectory's best segment.
+    auto it = best_.find(entry.traj);
+    if (it == best_.end()) {
+      best_.emplace(entry.traj, Item{dist, entry});
+      traj_dirty_ = true;
+    } else if (dist < it->second.dist) {
+      it->second = Item{dist, entry};
+      traj_dirty_ = true;
+    }
+  }
+
+  /// True when K results are held (threshold is meaningful).
+  bool Full() const {
+    return group_by_ == GroupBy::kSegment ? heap_.size() >= k_
+                                          : best_.size() >= k_;
+  }
+
+  /// theta_K: the K-th best distance; +inf while not Full.
+  double Threshold() const {
+    if (!Full()) return std::numeric_limits<double>::infinity();
+    if (group_by_ == GroupBy::kSegment) return heap_.top().dist;
+    RefreshTrajThreshold();
+    return traj_threshold_;
+  }
+
+  /// Sorted ascending-by-distance final results.
+  std::vector<Neighbor> Finalize() const {
+    std::vector<Neighbor> out;
+    if (group_by_ == GroupBy::kSegment) {
+      auto copy = heap_;
+      while (!copy.empty()) {
+        out.push_back(Neighbor{copy.top().entry, copy.top().dist});
+        copy.pop();
+      }
+    } else {
+      out.reserve(best_.size());
+      for (const auto& [traj, item] : best_) {
+        out.push_back(Neighbor{item.entry, item.dist});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.dist != b.dist) return a.dist < b.dist;
+                return a.entry.handle < b.entry.handle;  // deterministic ties
+              });
+    if (out.size() > k_) out.resize(k_);
+    return out;
+  }
+
+ private:
+  struct Item {
+    double dist;
+    SegmentEntry entry;
+  };
+  struct WorstFirst {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.dist < b.dist;  // max-heap on distance
+    }
+  };
+
+  void RefreshTrajThreshold() const {
+    if (!traj_dirty_) return;
+    // K-th smallest best-distance across trajectories. The map is small in
+    // practice (bounded by trajectories within the search frontier), so a
+    // partial selection is cheap relative to distance evaluations.
+    scratch_.clear();
+    scratch_.reserve(best_.size());
+    for (const auto& [traj, item] : best_) scratch_.push_back(item.dist);
+    std::nth_element(scratch_.begin(), scratch_.begin() + (k_ - 1),
+                     scratch_.end());
+    traj_threshold_ = scratch_[k_ - 1];
+    traj_dirty_ = false;
+  }
+
+  size_t k_;
+  GroupBy group_by_;
+  // kSegment state:
+  std::priority_queue<Item, std::vector<Item>, WorstFirst> heap_;
+  // kTrajectory state:
+  std::unordered_map<TrajId, Item> best_;
+  mutable std::vector<double> scratch_;
+  mutable double traj_threshold_ = std::numeric_limits<double>::infinity();
+  mutable bool traj_dirty_ = true;
+};
+
+}  // namespace frt
+
+#endif  // FRT_INDEX_COLLECTOR_H_

@@ -1,0 +1,278 @@
+#include "index/hierarchical_grid_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "index/collector.h"
+
+namespace frt {
+
+HierarchicalGridIndex::HierarchicalGridIndex(const GridSpec& grid,
+                                             SearchStrategy strategy)
+    : grid_(grid), strategy_(strategy) {
+  auto root = std::make_unique<HgCell>();
+  root->coord = CellCoord{0, 0, 0};
+  root_ = root.get();
+  cells_.emplace(root->coord.Key(), std::move(root));
+}
+
+HierarchicalGridIndex::HgCell* HierarchicalGridIndex::FindCell(
+    const CellCoord& coord) const {
+  auto it = cells_.find(coord.Key());
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+HierarchicalGridIndex::HgCell* HierarchicalGridIndex::GetOrCreateCell(
+    const CellCoord& coord) {
+  if (HgCell* found = FindCell(coord)) return found;
+
+  auto owned = std::make_unique<HgCell>();
+  owned->coord = coord;
+  HgCell* cell = owned.get();
+  cells_.emplace(coord.Key(), std::move(owned));
+
+  // Nearest materialized ancestor (the root always exists).
+  CellCoord a = coord.Parent();
+  HgCell* ancestor = nullptr;
+  while ((ancestor = FindCell(a)) == nullptr) a = a.Parent();
+
+  // Cells currently attached to the ancestor that fall inside the new cell
+  // become its children (the parent relation is "nearest materialized
+  // enclosing cell", and the new cell now sits between them and `ancestor`).
+  auto& siblings = ancestor->children;
+  for (size_t i = 0; i < siblings.size();) {
+    if (coord.IsAncestorOf(siblings[i]->coord)) {
+      siblings[i]->parent = cell;
+      cell->children.push_back(siblings[i]);
+      siblings[i] = siblings.back();
+      siblings.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  cell->parent = ancestor;
+  ancestor->children.push_back(cell);
+  return cell;
+}
+
+void HierarchicalGridIndex::MaybePrune(HgCell* cell) {
+  // Splice out cells holding no segments; their children reattach to the
+  // parent so only occupied cells stay materialized (plus the root).
+  // Non-root cells always hold at least one segment (cells are created by
+  // Insert and spliced as soon as their last segment leaves), so at most
+  // one splice is needed per removal.
+  if (cell == root_ || !cell->segments.empty()) return;
+  HgCell* parent = cell->parent;
+  auto& siblings = parent->children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), cell));
+  for (HgCell* child : cell->children) {
+    child->parent = parent;
+    siblings.push_back(child);
+  }
+  cells_.erase(cell->coord.Key());
+}
+
+Status HierarchicalGridIndex::Insert(const SegmentEntry& entry) {
+  auto [it, inserted] = entries_.try_emplace(entry.handle, entry);
+  if (!inserted) {
+    return Status::AlreadyExists("segment handle already indexed");
+  }
+  const CellCoord coord = grid_.BestFitCell(entry.geom.a, entry.geom.b);
+  HgCell* cell = GetOrCreateCell(coord);
+  cell->segments.push_back(entry.handle);
+  cell_of_[entry.handle] = coord.Key();
+  return Status::OK();
+}
+
+Status HierarchicalGridIndex::Remove(SegmentHandle handle) {
+  auto it = cell_of_.find(handle);
+  if (it == cell_of_.end()) {
+    return Status::NotFound("segment handle not indexed");
+  }
+  HgCell* cell = cells_.at(it->second).get();
+  auto& segs = cell->segments;
+  auto sit = std::find(segs.begin(), segs.end(), handle);
+  *sit = segs.back();
+  segs.pop_back();
+  cell_of_.erase(it);
+  entries_.erase(handle);
+  MaybePrune(cell);
+  return Status::OK();
+}
+
+std::vector<SegmentHandle> HierarchicalGridIndex::CellSegments(
+    const CellCoord& coord) const {
+  const HgCell* cell = FindCell(coord);
+  return cell ? cell->segments : std::vector<SegmentHandle>{};
+}
+
+CellCoord HierarchicalGridIndex::CellParent(const CellCoord& coord) const {
+  const HgCell* cell = FindCell(coord);
+  if (cell == nullptr || cell->parent == nullptr) return root_->coord;
+  return cell->parent->coord;
+}
+
+HierarchicalGridIndex::HgCell* HierarchicalGridIndex::LocateStart(
+    const Point& q) const {
+  CellCoord c = grid_.CellAt(q, grid_.finest_level());
+  while (true) {
+    if (HgCell* cell = FindCell(c)) return cell;
+    c = c.Parent();
+  }
+}
+
+std::vector<Neighbor> HierarchicalGridIndex::KNearest(
+    const Point& q, const SearchOptions& options) const {
+  if (options.k == 0 || entries_.empty()) return {};
+  switch (strategy_) {
+    case SearchStrategy::kTopDown:
+      return SearchTopDown(q, options);
+    case SearchStrategy::kBottomUp:
+      return SearchBottomUp(q, options, /*switch_to_queue=*/false);
+    case SearchStrategy::kBottomUpDown:
+    default:
+      return SearchBottomUp(q, options, /*switch_to_queue=*/true);
+  }
+}
+
+namespace {
+
+struct CellCandidate {
+  double mindist;
+  const void* cell;  // type-erased HgCell*; avoids exposing the private type
+  bool operator>(const CellCandidate& o) const {
+    return mindist > o.mindist;
+  }
+};
+
+}  // namespace
+
+std::vector<Neighbor> HierarchicalGridIndex::SearchTopDown(
+    const Point& q, const SearchOptions& options) const {
+  // Classic best-first descent: priority queue on MINdist from the root.
+  ResultCollector collector(options.k, options.group_by);
+  std::priority_queue<CellCandidate, std::vector<CellCandidate>,
+                      std::greater<CellCandidate>>
+      heap;
+  heap.push({0.0, root_});
+  while (!heap.empty()) {
+    const auto [mindist, erased] = heap.top();
+    heap.pop();
+    const HgCell* cell = static_cast<const HgCell*>(erased);
+    // Heap order makes this exact: nothing left can beat theta_K
+    // (Theorem 4).
+    if (collector.Full() && mindist > collector.Threshold()) break;
+    for (const SegmentHandle h : cell->segments) {
+      const SegmentEntry& e = entries_.at(h);
+      if (options.filter && !options.filter(e)) continue;
+      ++dist_evals_;
+      collector.Offer(e, PointSegmentDistance(q, e.geom));
+    }
+    for (const HgCell* child : cell->children) {
+      const double child_dist =
+          MinDistPointBBox(q, grid_.CellBox(child->coord));
+      if (collector.Full() && child_dist > collector.Threshold()) continue;
+      heap.push({child_dist, child});
+    }
+  }
+  return collector.Finalize();
+}
+
+std::vector<Neighbor> HierarchicalGridIndex::SearchBottomUp(
+    const Point& q, const SearchOptions& options,
+    bool switch_to_queue) const {
+  // Algorithm 3. Phase 1 ("bottom-up"): a stack ascends from the finest
+  // materialized cell containing q; the parent is pushed before the
+  // children so finer cells near q are examined first, shrinking theta_K
+  // early. Every ancestor of the start cell contains q, so parents are
+  // pushed with MINdist 0 and are never pruned — the ascent always reaches
+  // the root. Phase 2 ("top-down"): once the root is reached, remaining
+  // candidates move into a priority queue on MINdist, enabling early
+  // termination (Theorem 4). With switch_to_queue=false the stack is kept
+  // throughout — the HGb competitor of Fig. 5, which cannot terminate early
+  // and only benefits from prune-on-pop.
+  //
+  // Note: the paper's pseudocode leaves entries stranded on the stack when
+  // the root flips the search into queue mode; we transfer them into the
+  // queue so no subtree is dropped (required for exactness).
+  ResultCollector collector(options.k, options.group_by);
+  std::unordered_set<const HgCell*> visited;
+
+  std::vector<CellCandidate> stack;      // S_g
+  std::priority_queue<CellCandidate, std::vector<CellCandidate>,
+                      std::greater<CellCandidate>>
+      queue;                             // Q_g
+  bool root_access = false;
+
+  const HgCell* start = LocateStart(q);
+  stack.push_back({0.0, start});
+
+  auto push_candidate = [&](const HgCell* cell, double mindist) {
+    if (visited.count(cell) > 0) return;
+    if (!root_access) {
+      stack.push_back({mindist, cell});
+    } else {
+      queue.push({mindist, cell});
+    }
+  };
+
+  while (!stack.empty() || !queue.empty()) {
+    CellCandidate cand{};
+    if (!root_access) {
+      cand = stack.back();
+      stack.pop_back();
+      const HgCell* cell = static_cast<const HgCell*>(cand.cell);
+      if (visited.count(cell) > 0) continue;
+      // Prune-on-pop (cannot break: the stack is unordered).
+      if (collector.Full() && cand.mindist > collector.Threshold()) {
+        visited.insert(cell);  // its subtree is provably uninteresting
+        continue;
+      }
+    } else {
+      cand = queue.top();
+      queue.pop();
+      const HgCell* cell = static_cast<const HgCell*>(cand.cell);
+      if (visited.count(cell) > 0) continue;
+      // Ordered pops allow exact early termination.
+      if (collector.Full() && cand.mindist > collector.Threshold()) break;
+    }
+    const HgCell* cell = static_cast<const HgCell*>(cand.cell);
+    visited.insert(cell);
+
+    for (const SegmentHandle h : cell->segments) {
+      const SegmentEntry& e = entries_.at(h);
+      if (options.filter && !options.filter(e)) continue;
+      ++dist_evals_;
+      collector.Offer(e, PointSegmentDistance(q, e.geom));
+    }
+
+    // Push the parent first (ancestors contain q; MINdist 0), then the
+    // children, so LIFO order examines fine cells near q before coarser
+    // ones (paper §IV-C2).
+    if (cell->parent != nullptr && visited.count(cell->parent) == 0) {
+      if (switch_to_queue && !root_access && cell->parent == root_) {
+        root_access = true;
+        queue.push({0.0, root_});
+        // Transfer stranded stack entries so phase 2 still sees them.
+        for (const CellCandidate& c : stack) {
+          const HgCell* sc = static_cast<const HgCell*>(c.cell);
+          if (visited.count(sc) == 0) queue.push(c);
+        }
+        stack.clear();
+      } else {
+        push_candidate(cell->parent, 0.0);
+      }
+    }
+    for (const HgCell* child : cell->children) {
+      if (visited.count(child) > 0) continue;
+      const double child_dist =
+          MinDistPointBBox(q, grid_.CellBox(child->coord));
+      if (collector.Full() && child_dist > collector.Threshold()) continue;
+      push_candidate(child, child_dist);
+    }
+  }
+  return collector.Finalize();
+}
+
+}  // namespace frt

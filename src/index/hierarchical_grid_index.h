@@ -1,0 +1,101 @@
+// Hierarchical grid index (paper §IV-C1) with the three search strategies
+// of §IV-C2 / Fig. 5: top-down (HGt), bottom-up (HGb) and the paper's novel
+// bottom-up-down search (HG+, Algorithm 3).
+//
+// Structure. Dyadic grids G_0 (1x1) .. G_{H-1} (finest, 512x512 by default).
+// Every segment lives in its best-fit cell (Definition 11): the finest cell
+// containing both endpoints. Only non-empty cells are materialized; each
+// materialized cell links to its nearest materialized ancestor (parent) and
+// to the materialized descendants with no materialized cell in between
+// (children) — exactly the paper's parent/children relation restricted to
+// occupied cells. The root (level 0) is always materialized so every search
+// has an anchor.
+//
+// Updates. Insert creates the best-fit cell on demand and re-parents any
+// existing cells that fall inside it; Remove splices empty cells out. This
+// keeps the index valid across the edit batches of trajectory modification
+// (Algorithm 3 line 36, ModifyAndUpdate).
+
+#ifndef FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_
+#define FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/grid.h"
+#include "index/segment_index.h"
+
+namespace frt {
+
+/// \brief The paper's hierarchical grid index over trajectory segments.
+class HierarchicalGridIndex : public SegmentIndex {
+ public:
+  /// \param grid     region + level count (finest = 2^(levels-1) per side).
+  /// \param strategy one of kTopDown / kBottomUp / kBottomUpDown; selects
+  ///                 the traversal used by KNearest.
+  HierarchicalGridIndex(const GridSpec& grid, SearchStrategy strategy);
+
+  Status Insert(const SegmentEntry& entry) override;
+  Status Remove(SegmentHandle handle) override;
+  std::vector<Neighbor> KNearest(const Point& q,
+                                 const SearchOptions& options) const override;
+  size_t size() const override { return entries_.size(); }
+  uint64_t distance_evaluations() const override { return dist_evals_; }
+
+  // --- introspection (tests / diagnostics) ---
+
+  /// Number of materialized cells (including the root).
+  size_t NumCells() const { return cells_.size(); }
+
+  /// Best-fit cell coordinate for a segment (Definition 11).
+  CellCoord BestFit(const Segment& s) const {
+    return grid_.BestFitCell(s.a, s.b);
+  }
+
+  /// Segment handles stored in the cell at `coord`; empty when the cell is
+  /// not materialized.
+  std::vector<SegmentHandle> CellSegments(const CellCoord& coord) const;
+
+  /// Coordinate of the materialized parent of the cell at `coord`.
+  /// Returns the root coordinate when `coord` is the root or unknown.
+  CellCoord CellParent(const CellCoord& coord) const;
+
+  const GridSpec& grid() const { return grid_; }
+  SearchStrategy strategy() const { return strategy_; }
+
+ private:
+  struct HgCell {
+    CellCoord coord;
+    std::vector<SegmentHandle> segments;
+    HgCell* parent = nullptr;
+    std::vector<HgCell*> children;
+  };
+
+  HgCell* FindCell(const CellCoord& coord) const;
+  HgCell* GetOrCreateCell(const CellCoord& coord);
+  void MaybePrune(HgCell* cell);
+
+  /// The materialized cell the bottom-up phase starts from: the nearest
+  /// materialized ancestor of the finest-level cell containing q
+  /// (Algorithm 3 line 1, LocatePoint).
+  HgCell* LocateStart(const Point& q) const;
+
+  std::vector<Neighbor> SearchTopDown(const Point& q,
+                                      const SearchOptions& options) const;
+  std::vector<Neighbor> SearchBottomUp(const Point& q,
+                                       const SearchOptions& options,
+                                       bool switch_to_queue) const;
+
+  GridSpec grid_;
+  SearchStrategy strategy_;
+  std::unordered_map<uint64_t, std::unique_ptr<HgCell>> cells_;
+  std::unordered_map<SegmentHandle, SegmentEntry> entries_;
+  std::unordered_map<SegmentHandle, uint64_t> cell_of_;
+  HgCell* root_ = nullptr;
+  mutable uint64_t dist_evals_ = 0;
+};
+
+}  // namespace frt
+
+#endif  // FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_

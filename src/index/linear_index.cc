@@ -1,0 +1,42 @@
+#include "index/linear_index.h"
+
+#include "index/collector.h"
+
+namespace frt {
+
+Status LinearSegmentIndex::Insert(const SegmentEntry& entry) {
+  auto [it, inserted] = slot_of_.try_emplace(entry.handle, entries_.size());
+  if (!inserted) {
+    return Status::AlreadyExists("segment handle already indexed");
+  }
+  entries_.push_back(entry);
+  return Status::OK();
+}
+
+Status LinearSegmentIndex::Remove(SegmentHandle handle) {
+  auto it = slot_of_.find(handle);
+  if (it == slot_of_.end()) {
+    return Status::NotFound("segment handle not indexed");
+  }
+  const size_t slot = it->second;
+  slot_of_.erase(it);
+  if (slot + 1 != entries_.size()) {
+    entries_[slot] = entries_.back();
+    slot_of_[entries_[slot].handle] = slot;
+  }
+  entries_.pop_back();
+  return Status::OK();
+}
+
+std::vector<Neighbor> LinearSegmentIndex::KNearest(
+    const Point& q, const SearchOptions& options) const {
+  ResultCollector collector(options.k, options.group_by);
+  for (const SegmentEntry& e : entries_) {
+    if (options.filter && !options.filter(e)) continue;
+    ++dist_evals_;
+    collector.Offer(e, PointSegmentDistance(q, e.geom));
+  }
+  return collector.Finalize();
+}
+
+}  // namespace frt

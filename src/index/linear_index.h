@@ -1,0 +1,32 @@
+// Linear-scan segment index: the correctness reference and the Fig. 5
+// "Linear" competitor. O(n) per query, O(1) updates.
+
+#ifndef FRT_INDEX_LINEAR_INDEX_H_
+#define FRT_INDEX_LINEAR_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/segment_index.h"
+
+namespace frt {
+
+/// \brief Flat segment store with swap-erase removal.
+class LinearSegmentIndex : public SegmentIndex {
+ public:
+  Status Insert(const SegmentEntry& entry) override;
+  Status Remove(SegmentHandle handle) override;
+  std::vector<Neighbor> KNearest(const Point& q,
+                                 const SearchOptions& options) const override;
+  size_t size() const override { return entries_.size(); }
+  uint64_t distance_evaluations() const override { return dist_evals_; }
+
+ private:
+  std::vector<SegmentEntry> entries_;
+  std::unordered_map<SegmentHandle, size_t> slot_of_;
+  mutable uint64_t dist_evals_ = 0;
+};
+
+}  // namespace frt
+
+#endif  // FRT_INDEX_LINEAR_INDEX_H_

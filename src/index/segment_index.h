@@ -1,0 +1,121 @@
+// Segment indexing and K-nearest search (paper §IV-C).
+//
+// Trajectory modification reduces to two nearest-neighbor problems:
+//   * K-nearest segment search (Def. 10) — insertion sites within one
+//     trajectory;
+//   * K-nearest trajectory search (Def. 8) — insertion targets across the
+//     dataset, i.e. the K *distinct trajectories* whose best segment is
+//     nearest.
+// Both are served by one abstraction: an index over segments that supports
+// KNearest() with a grouping mode (by segment / by trajectory) and an
+// eligibility filter, plus incremental updates so the index stays valid
+// while a batch of edits is applied (Alg. 3 line 36, ModifyAndUpdate).
+//
+// Implementations: linear scan (baseline), single-level uniform grid (UG),
+// and the paper's hierarchical grid (HG) with three search strategies:
+// top-down best-first (HGt), bottom-up (HGb) and the paper's novel
+// bottom-up-down (HG+, Algorithm 3).
+
+#ifndef FRT_INDEX_SEGMENT_INDEX_H_
+#define FRT_INDEX_SEGMENT_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/segment.h"
+#include "traj/trajectory.h"
+
+namespace frt {
+
+/// Stable identifier of an indexed segment (assigned by the caller).
+using SegmentHandle = uint64_t;
+
+/// \brief One indexed trajectory segment.
+struct SegmentEntry {
+  SegmentHandle handle = 0;
+  TrajId traj = -1;
+  Segment geom;
+};
+
+/// \brief A search hit: the entry plus its distance to the query point.
+///
+/// In GroupBy::kTrajectory mode, `entry` is the *best* (closest) segment of
+/// its trajectory.
+struct Neighbor {
+  SegmentEntry entry;
+  double dist = 0.0;
+};
+
+/// Grouping mode for KNearest.
+enum class GroupBy {
+  kSegment,     ///< k nearest individual segments (Def. 10)
+  kTrajectory,  ///< k distinct trajectories by their nearest segment (Def. 8)
+};
+
+/// Search strategy — the Fig. 5 competitors.
+enum class SearchStrategy {
+  kLinear,       ///< scan every segment
+  kUniformGrid,  ///< single-level 512x512 grid, expanding-ring search
+  kTopDown,      ///< HGt: best-first from the root
+  kBottomUp,     ///< HGb: stack-driven ascent from the query's finest cell
+  kBottomUpDown, ///< HG+: Algorithm 3 (stack phase, then priority queue)
+};
+
+/// Display name ("Linear", "UG", "HGt", "HGb", "HG+").
+std::string_view SearchStrategyName(SearchStrategy s);
+
+/// Options for a KNearest call.
+struct SearchOptions {
+  size_t k = 1;
+  GroupBy group_by = GroupBy::kSegment;
+  /// Optional eligibility predicate; ineligible segments are skipped
+  /// entirely (they neither appear in results nor tighten the threshold).
+  std::function<bool(const SegmentEntry&)> filter;
+};
+
+/// \brief Interface of a dynamic segment index.
+class SegmentIndex {
+ public:
+  virtual ~SegmentIndex() = default;
+
+  /// Inserts a segment. Handles must be unique.
+  virtual Status Insert(const SegmentEntry& entry) = 0;
+
+  /// Removes a previously inserted segment.
+  virtual Status Remove(SegmentHandle handle) = 0;
+
+  /// K-nearest search around `q`. Results are sorted by ascending distance;
+  /// fewer than k results are returned when the index runs out of eligible
+  /// candidates.
+  virtual std::vector<Neighbor> KNearest(const Point& q,
+                                         const SearchOptions& options)
+      const = 0;
+
+  /// Number of live segments.
+  virtual size_t size() const = 0;
+
+  /// Number of exact point-segment distance evaluations since construction
+  /// (pruning-effectiveness counter; used by tests and bench diagnostics).
+  virtual uint64_t distance_evaluations() const = 0;
+};
+
+/// \brief Creates the index implementation matching `strategy`.
+///
+/// `grid` supplies the region and the finest granularity (the paper uses
+/// 512x512 => 10 levels). The linear strategy ignores it.
+std::unique_ptr<SegmentIndex> MakeSegmentIndex(SearchStrategy strategy,
+                                               const GridSpec& grid);
+
+/// Convenience: inserts every segment of `traj` into `index`, assigning
+/// handles `base_handle + i` for segment i. Returns the number inserted.
+size_t IndexTrajectory(const Trajectory& traj, SegmentIndex* index,
+                       SegmentHandle base_handle);
+
+}  // namespace frt
+
+#endif  // FRT_INDEX_SEGMENT_INDEX_H_

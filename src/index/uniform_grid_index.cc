@@ -1,0 +1,100 @@
+#include "index/uniform_grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/collector.h"
+
+namespace frt {
+
+UniformGridIndex::UniformGridIndex(const GridSpec& grid)
+    : grid_(grid), level_(grid.finest_level()) {}
+
+std::vector<CellCoord> UniformGridIndex::CoveredCells(
+    const Segment& s) const {
+  const CellCoord ca = grid_.CellAt(s.a, level_);
+  const CellCoord cb = grid_.CellAt(s.b, level_);
+  std::vector<CellCoord> out;
+  const int32_t x0 = std::min(ca.ix, cb.ix);
+  const int32_t x1 = std::max(ca.ix, cb.ix);
+  const int32_t y0 = std::min(ca.iy, cb.iy);
+  const int32_t y1 = std::max(ca.iy, cb.iy);
+  out.reserve(static_cast<size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
+  for (int32_t x = x0; x <= x1; ++x) {
+    for (int32_t y = y0; y <= y1; ++y) {
+      out.push_back(CellCoord{level_, x, y});
+    }
+  }
+  return out;
+}
+
+Status UniformGridIndex::Insert(const SegmentEntry& entry) {
+  auto [it, inserted] = entries_.try_emplace(entry.handle, entry);
+  if (!inserted) {
+    return Status::AlreadyExists("segment handle already indexed");
+  }
+  for (const CellCoord& c : CoveredCells(entry.geom)) {
+    cells_[c.Key()].push_back(entry.handle);
+  }
+  return Status::OK();
+}
+
+Status UniformGridIndex::Remove(SegmentHandle handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    return Status::NotFound("segment handle not indexed");
+  }
+  for (const CellCoord& c : CoveredCells(it->second.geom)) {
+    auto cit = cells_.find(c.Key());
+    if (cit == cells_.end()) continue;
+    auto& v = cit->second;
+    v.erase(std::remove(v.begin(), v.end(), handle), v.end());
+    if (v.empty()) cells_.erase(cit);
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+std::vector<Neighbor> UniformGridIndex::KNearest(
+    const Point& q, const SearchOptions& options) const {
+  ResultCollector collector(options.k, options.group_by);
+  if (entries_.empty() || options.k == 0) return collector.Finalize();
+
+  const int64_t n = grid_.Resolution(level_);
+  const double cell_w =
+      grid_.region().Width() / static_cast<double>(n);
+  const double cell_h =
+      grid_.region().Height() / static_cast<double>(n);
+  const double cell_min = std::min(cell_w, cell_h);
+  const CellCoord c0 = grid_.CellAt(q, level_);
+
+  std::unordered_set<SegmentHandle> seen;
+  const int max_radius = static_cast<int>(n);  // covers the whole grid
+  for (int radius = 0; radius <= max_radius; ++radius) {
+    // Lower bound on the distance from q to any cell in this ring.
+    if (radius >= 2) {
+      const double ring_lb = (radius - 1) * cell_min;
+      if (collector.Full() && ring_lb > collector.Threshold()) break;
+    }
+    for (int dx = -radius; dx <= radius; ++dx) {
+      for (int dy = -radius; dy <= radius; ++dy) {
+        if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+        const int32_t x = c0.ix + dx;
+        const int32_t y = c0.iy + dy;
+        if (x < 0 || y < 0 || x >= n || y >= n) continue;
+        auto it = cells_.find(CellCoord{level_, x, y}.Key());
+        if (it == cells_.end()) continue;
+        for (const SegmentHandle h : it->second) {
+          if (!seen.insert(h).second) continue;  // dedup multi-cell segments
+          const SegmentEntry& e = entries_.at(h);
+          if (options.filter && !options.filter(e)) continue;
+          ++dist_evals_;
+          collector.Offer(e, PointSegmentDistance(q, e.geom));
+        }
+      }
+    }
+  }
+  return collector.Finalize();
+}
+
+}  // namespace frt

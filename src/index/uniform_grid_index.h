@@ -1,0 +1,45 @@
+// Single-level uniform grid index — the Fig. 5 "UG" competitor.
+//
+// Segments register in every finest-level cell their bounding box overlaps
+// (duplication instead of hierarchy). KNearest runs an expanding-ring
+// search: ring r has a lower bound of (r-1) * cell_extent from the query,
+// so the search stops once the collector threshold beats the next ring.
+
+#ifndef FRT_INDEX_UNIFORM_GRID_INDEX_H_
+#define FRT_INDEX_UNIFORM_GRID_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "geo/grid.h"
+#include "index/segment_index.h"
+
+namespace frt {
+
+/// \brief Uniform-grid segment index at the finest granularity of `grid`.
+class UniformGridIndex : public SegmentIndex {
+ public:
+  explicit UniformGridIndex(const GridSpec& grid);
+
+  Status Insert(const SegmentEntry& entry) override;
+  Status Remove(SegmentHandle handle) override;
+  std::vector<Neighbor> KNearest(const Point& q,
+                                 const SearchOptions& options) const override;
+  size_t size() const override { return entries_.size(); }
+  uint64_t distance_evaluations() const override { return dist_evals_; }
+
+ private:
+  /// Cells (at the finest level) covered by the segment's bounding box.
+  std::vector<CellCoord> CoveredCells(const Segment& s) const;
+
+  GridSpec grid_;
+  int level_;
+  std::unordered_map<SegmentHandle, SegmentEntry> entries_;
+  std::unordered_map<uint64_t, std::vector<SegmentHandle>> cells_;
+  mutable uint64_t dist_evals_ = 0;
+};
+
+}  // namespace frt
+
+#endif  // FRT_INDEX_UNIFORM_GRID_INDEX_H_

@@ -1,0 +1,122 @@
+#include "metrics/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frt {
+namespace {
+
+constexpr double kEpsilonMass = 1e-12;
+
+double Log2(double v) { return std::log2(v); }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(std::max<size_t>(1, bins), 0.0) {}
+
+void Histogram::Add(double v, double weight) {
+  const size_t n = counts_.size();
+  double t = (v - lo_) / std::max(hi_ - lo_, 1e-300);
+  t = std::clamp(t, 0.0, 1.0);
+  size_t bin = static_cast<size_t>(t * static_cast<double>(n));
+  if (bin >= n) bin = n - 1;
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  return NormalizeToProbabilities(counts_);
+}
+
+std::vector<double> NormalizeToProbabilities(const std::vector<double>& w) {
+  double total = 0.0;
+  for (const double v : w) total += v;
+  std::vector<double> p(w.size(), 0.0);
+  if (total <= 0.0) return p;
+  for (size_t i = 0; i < w.size(); ++i) p[i] = w[i] / total;
+  return p;
+}
+
+double ShannonEntropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (const double v : p) {
+    if (v > 0.0) h -= v * Log2(v);
+  }
+  return h;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  double d = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    d += p[i] * Log2(p[i] / std::max(q[i], kEpsilonMass));
+  }
+  return d;
+}
+
+double JensenShannonDivergence(const std::vector<double>& p,
+                               const std::vector<double>& q) {
+  std::vector<double> m(p.size());
+  for (size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+}
+
+double SparseJensenShannon(const std::unordered_map<uint64_t, double>& a,
+                           const std::unordered_map<uint64_t, double>& b) {
+  // Collect the union support deterministically.
+  std::vector<uint64_t> keys;
+  keys.reserve(a.size() + b.size());
+  for (const auto& [k, v] : a) keys.push_back(k);
+  for (const auto& [k, v] : b) {
+    if (a.count(k) == 0) keys.push_back(k);
+  }
+  std::vector<double> pa(keys.size(), 0.0);
+  std::vector<double> pb(keys.size(), 0.0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto ia = a.find(keys[i]);
+    auto ib = b.find(keys[i]);
+    pa[i] = ia == a.end() ? 0.0 : ia->second;
+    pb[i] = ib == b.end() ? 0.0 : ib->second;
+  }
+  return JensenShannonDivergence(NormalizeToProbabilities(pa),
+                                 NormalizeToProbabilities(pb));
+}
+
+double NormalizedMutualInformation(
+    const std::unordered_map<uint64_t, double>& joint_xy,
+    uint32_t (*split_x)(uint64_t), uint32_t (*split_y)(uint64_t)) {
+  double total = 0.0;
+  std::unordered_map<uint32_t, double> mx;
+  std::unordered_map<uint32_t, double> my;
+  for (const auto& [key, c] : joint_xy) {
+    total += c;
+    mx[split_x(key)] += c;
+    my[split_y(key)] += c;
+  }
+  if (total <= 0.0) return 0.0;
+
+  double mi = 0.0;
+  for (const auto& [key, c] : joint_xy) {
+    if (c <= 0.0) continue;
+    const double pxy = c / total;
+    const double px = mx.at(split_x(key)) / total;
+    const double py = my.at(split_y(key)) / total;
+    mi += pxy * Log2(pxy / (px * py));
+  }
+  double hx = 0.0;
+  for (const auto& [k, c] : mx) {
+    const double p = c / total;
+    if (p > 0.0) hx -= p * Log2(p);
+  }
+  double hy = 0.0;
+  for (const auto& [k, c] : my) {
+    const double p = c / total;
+    if (p > 0.0) hy -= p * Log2(p);
+  }
+  if (hx <= 0.0 || hy <= 0.0) return 0.0;
+  return std::max(0.0, mi) / std::sqrt(hx * hy);
+}
+
+}  // namespace frt

@@ -1,0 +1,78 @@
+// Probability-distribution utilities shared by the utility and privacy
+// metrics: histograms, entropy, Kullback-Leibler and Jensen-Shannon
+// divergence, and normalized mutual information.
+
+#ifndef FRT_METRICS_DISTRIBUTION_H_
+#define FRT_METRICS_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace frt {
+
+/// \brief Fixed-range equal-width histogram.
+class Histogram {
+ public:
+  /// Values outside [lo, hi] are clamped into the boundary bins.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double v, double weight = 1.0);
+
+  size_t bins() const { return counts_.size(); }
+  double total() const { return total_; }
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Normalized bin masses (all zeros when empty).
+  std::vector<double> Probabilities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Normalizes non-negative weights to a probability vector (zeros if the
+/// total mass is zero).
+std::vector<double> NormalizeToProbabilities(const std::vector<double>& w);
+
+/// Shannon entropy in bits. `p` must be a probability vector.
+double ShannonEntropy(const std::vector<double>& p);
+
+/// KL(p || q) in bits; contributions where p_i > 0 and q_i = 0 are treated
+/// with a small-epsilon floor so the result stays finite (standard practice
+/// for empirical distributions).
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q);
+
+/// Jensen-Shannon divergence in bits; symmetric, bounded to [0, 1] for
+/// base-2 logs. Inputs must have equal length.
+double JensenShannonDivergence(const std::vector<double>& p,
+                               const std::vector<double>& q);
+
+/// \brief Jensen-Shannon divergence between two sparse count maps (union of
+/// keys forms the support).
+double SparseJensenShannon(const std::unordered_map<uint64_t, double>& a,
+                           const std::unordered_map<uint64_t, double>& b);
+
+/// \brief Normalized mutual information of a paired sample.
+///
+/// `pairs` maps (x, y) category pairs to joint counts. Returns
+/// MI(X; Y) / sqrt(H(X) * H(Y)) in [0, 1]; 0 when either marginal entropy
+/// vanishes.
+double NormalizedMutualInformation(
+    const std::unordered_map<uint64_t, double>& joint_xy,
+    uint32_t (*split_x)(uint64_t), uint32_t (*split_y)(uint64_t));
+
+/// Packs two 32-bit category ids into the joint-count key.
+inline uint64_t PackPair(uint32_t x, uint32_t y) {
+  return (static_cast<uint64_t>(x) << 32) | y;
+}
+inline uint32_t PairX(uint64_t key) { return static_cast<uint32_t>(key >> 32); }
+inline uint32_t PairY(uint64_t key) { return static_cast<uint32_t>(key); }
+
+}  // namespace frt
+
+#endif  // FRT_METRICS_DISTRIBUTION_H_

@@ -1,0 +1,192 @@
+#include "metrics/utility.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "metrics/distribution.h"
+#include "traj/quantizer.h"
+
+namespace frt {
+namespace {
+
+// Dense 32-bit id of a coarse cell.
+uint32_t CellId32(const GridSpec& grid, const Point& p, int level) {
+  const CellCoord c = grid.CellAt(p, level);
+  return static_cast<uint32_t>(c.ix) *
+             static_cast<uint32_t>(grid.Resolution(level)) +
+         static_cast<uint32_t>(c.iy);
+}
+
+// Coarse-cell sequence of a trajectory with consecutive duplicates
+// collapsed (dwells become a single pattern symbol).
+std::vector<uint32_t> CollapsedCells(const Trajectory& t,
+                                     const GridSpec& grid, int level) {
+  std::vector<uint32_t> out;
+  out.reserve(t.size());
+  for (const auto& tp : t.points()) {
+    const uint32_t c = CellId32(grid, tp.p, level);
+    if (out.empty() || out.back() != c) out.push_back(c);
+  }
+  return out;
+}
+
+using Pattern = std::vector<uint32_t>;
+
+// Support (number of trajectories containing each n-gram, n = 2..max_len).
+std::map<Pattern, int64_t> MinePatterns(const Dataset& d,
+                                        const GridSpec& grid, int level,
+                                        int max_len) {
+  std::map<Pattern, int64_t> support;
+  std::map<Pattern, size_t> last_seen;  // dedup within one trajectory
+  for (size_t i = 0; i < d.size(); ++i) {
+    const auto cells = CollapsedCells(d[i], grid, level);
+    for (int len = 2; len <= max_len; ++len) {
+      if (cells.size() < static_cast<size_t>(len)) continue;
+      for (size_t s = 0; s + len <= cells.size(); ++s) {
+        Pattern p(cells.begin() + s, cells.begin() + s + len);
+        auto it = last_seen.find(p);
+        if (it != last_seen.end() && it->second == i + 1) continue;
+        last_seen[p] = i + 1;
+        ++support[p];
+      }
+    }
+  }
+  return support;
+}
+
+// Top-k patterns by (support desc, pattern asc) — deterministic.
+std::vector<Pattern> TopPatterns(const std::map<Pattern, int64_t>& support,
+                                 size_t k) {
+  std::vector<std::pair<int64_t, const Pattern*>> order;
+  order.reserve(support.size());
+  for (const auto& [p, s] : support) order.emplace_back(s, &p);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return *a.second < *b.second;
+            });
+  if (order.size() > k) order.resize(k);
+  std::vector<Pattern> out;
+  out.reserve(order.size());
+  for (const auto& [s, p] : order) out.push_back(*p);
+  return out;
+}
+
+}  // namespace
+
+UtilityEvaluator::UtilityEvaluator(const BBox& region, UtilityConfig config)
+    : region_(region),
+      config_(config),
+      coarse_grid_(region, config.coarse_level + 1),
+      trip_grid_(region, config.trip_level + 1) {}
+
+const Trajectory* UtilityEvaluator::Counterpart(const Dataset& original,
+                                                size_t i,
+                                                const Dataset& anonymized) {
+  const auto idx = anonymized.IndexOf(original[i].id());
+  if (idx.ok()) return &anonymized[*idx];
+  if (i < anonymized.size()) return &anonymized[i];
+  return nullptr;
+}
+
+double UtilityEvaluator::InformationLoss(const Dataset& original,
+                                         const Dataset& anonymized) const {
+  Quantizer quantizer(region_, config_.snap_levels);
+  int64_t total = 0;
+  int64_t preserved = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const PointFrequency orig_pf =
+        ComputePointFrequency(original[i], quantizer);
+    for (const auto& [key, f] : orig_pf) total += f;
+    const Trajectory* anon = Counterpart(original, i, anonymized);
+    if (anon == nullptr) continue;
+    const PointFrequency anon_pf = ComputePointFrequency(*anon, quantizer);
+    for (const auto& [key, f] : orig_pf) {
+      auto it = anon_pf.find(key);
+      if (it != anon_pf.end()) preserved += std::min(f, it->second);
+    }
+  }
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(preserved) / static_cast<double>(total);
+}
+
+double UtilityEvaluator::DiameterDivergence(const Dataset& original,
+                                            const Dataset& anonymized) const {
+  const double max_diameter = region_.Diagonal();
+  Histogram ho(0.0, max_diameter, config_.diameter_bins);
+  Histogram ha(0.0, max_diameter, config_.diameter_bins);
+  for (const auto& t : original.trajectories()) ho.Add(t.Diameter());
+  for (const auto& t : anonymized.trajectories()) ha.Add(t.Diameter());
+  return JensenShannonDivergence(ho.Probabilities(), ha.Probabilities());
+}
+
+double UtilityEvaluator::TripDivergence(const Dataset& original,
+                                        const Dataset& anonymized) const {
+  auto trips = [&](const Dataset& d) {
+    std::unordered_map<uint64_t, double> counts;
+    for (const auto& t : d.trajectories()) {
+      if (t.empty()) continue;
+      const uint32_t s =
+          CellId32(trip_grid_, t.points().front().p, config_.trip_level);
+      const uint32_t e =
+          CellId32(trip_grid_, t.points().back().p, config_.trip_level);
+      counts[PackPair(s, e)] += 1.0;
+    }
+    return counts;
+  };
+  return SparseJensenShannon(trips(original), trips(anonymized));
+}
+
+double UtilityEvaluator::FrequentPatternF(const Dataset& original,
+                                          const Dataset& anonymized) const {
+  const auto po = TopPatterns(
+      MinePatterns(original, coarse_grid_, config_.coarse_level,
+                   config_.max_pattern_len),
+      config_.top_patterns);
+  const auto pa = TopPatterns(
+      MinePatterns(anonymized, coarse_grid_, config_.coarse_level,
+                   config_.max_pattern_len),
+      config_.top_patterns);
+  if (po.empty() && pa.empty()) return 1.0;
+  if (po.empty() || pa.empty()) return 0.0;
+  std::map<Pattern, char> in_orig;
+  for (const auto& p : po) in_orig[p] = 1;
+  size_t common = 0;
+  for (const auto& p : pa) {
+    if (in_orig.count(p) > 0) ++common;
+  }
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(po.size() + pa.size());
+}
+
+double UtilityEvaluator::MutualInformation(const Dataset& original,
+                                           const Dataset& anonymized) const {
+  std::unordered_map<uint64_t, double> joint;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const Trajectory* anon = Counterpart(original, i, anonymized);
+    if (anon == nullptr) continue;
+    const size_t n = std::min(original[i].size(), anon->size());
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t x =
+          CellId32(coarse_grid_, original[i][k].p, config_.coarse_level);
+      const uint32_t y =
+          CellId32(coarse_grid_, (*anon)[k].p, config_.coarse_level);
+      joint[PackPair(x, y)] += 1.0;
+    }
+  }
+  return NormalizedMutualInformation(joint, &PairX, &PairY);
+}
+
+UtilityScores UtilityEvaluator::EvaluateAll(const Dataset& original,
+                                            const Dataset& anonymized) const {
+  UtilityScores s;
+  s.inf = InformationLoss(original, anonymized);
+  s.de = DiameterDivergence(original, anonymized);
+  s.te = TripDivergence(original, anonymized);
+  s.ffp = FrequentPatternF(original, anonymized);
+  s.mi = MutualInformation(original, anonymized);
+  return s;
+}
+
+}  // namespace frt

@@ -1,0 +1,259 @@
+#include "roadnet/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace frt {
+
+std::string_view PoiCategoryName(PoiCategory c) {
+  switch (c) {
+    case PoiCategory::kResidential:
+      return "residential";
+    case PoiCategory::kOffice:
+      return "office";
+    case PoiCategory::kShopping:
+      return "shopping";
+    case PoiCategory::kTransport:
+      return "transport";
+    case PoiCategory::kLeisure:
+      return "leisure";
+    case PoiCategory::kMedical:
+      return "medical";
+    case PoiCategory::kEducation:
+      return "education";
+    case PoiCategory::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+NodeId RoadNetwork::AddNode(const Point& p, PoiCategory category) {
+  nodes_.push_back(RoadNode{p, category});
+  adj_.emplace_back();
+  built_ = false;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<EdgeId> RoadNetwork::AddEdge(NodeId u, NodeId v) {
+  if (u < 0 || v < 0 || u >= static_cast<NodeId>(nodes_.size()) ||
+      v >= static_cast<NodeId>(nodes_.size())) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop rejected");
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists("parallel edge " + std::to_string(u) + "-" +
+                                 std::to_string(v));
+  }
+  const double len = Distance(nodes_[u].p, nodes_[v].p);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(RoadEdge{u, v, len});
+  adj_[u].push_back(Arc{id, v, len});
+  adj_[v].push_back(Arc{id, u, len});
+  built_ = false;
+  return id;
+}
+
+bool RoadNetwork::HasEdge(NodeId u, NodeId v) const {
+  if (u < 0 || u >= static_cast<NodeId>(adj_.size())) return false;
+  for (const Arc& a : adj_[u]) {
+    if (a.to == v) return true;
+  }
+  return false;
+}
+
+void RoadNetwork::Build() {
+  bounds_ = BBox::Empty();
+  for (const auto& n : nodes_) bounds_.Extend(n.p);
+  // Pad the region slightly so boundary points stay strictly inside.
+  const double pad =
+      std::max(1.0, 0.01 * std::max(bounds_.Width(), bounds_.Height()));
+  bounds_.min_x -= pad;
+  bounds_.min_y -= pad;
+  bounds_.max_x += pad;
+  bounds_.max_y += pad;
+
+  // Aim for O(1) nodes per bucket: pick level so the grid has roughly as
+  // many cells as nodes.
+  int level = 1;
+  while ((int64_t{1} << (2 * level)) <
+             static_cast<int64_t>(nodes_.size()) &&
+         level < 12) {
+    ++level;
+  }
+  bucket_level_ = level;
+  bucket_grid_ = GridSpec(bounds_, level + 1);
+
+  node_buckets_.clear();
+  edge_buckets_.clear();
+  for (NodeId i = 0; i < static_cast<NodeId>(nodes_.size()); ++i) {
+    node_buckets_[bucket_grid_.CellAt(nodes_[i].p, bucket_level_).Key()]
+        .push_back(i);
+  }
+  // Register each edge in every bucket its bounding box overlaps; edges are
+  // short relative to the region so this is a handful of cells each.
+  for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
+    const Segment s = EdgeSegment(e);
+    const CellCoord ca = bucket_grid_.CellAt(s.a, bucket_level_);
+    const CellCoord cb = bucket_grid_.CellAt(s.b, bucket_level_);
+    const int32_t x0 = std::min(ca.ix, cb.ix);
+    const int32_t x1 = std::max(ca.ix, cb.ix);
+    const int32_t y0 = std::min(ca.iy, cb.iy);
+    const int32_t y1 = std::max(ca.iy, cb.iy);
+    for (int32_t x = x0; x <= x1; ++x) {
+      for (int32_t y = y0; y <= y1; ++y) {
+        edge_buckets_[CellCoord{bucket_level_, x, y}.Key()].push_back(e);
+      }
+    }
+  }
+  built_ = true;
+}
+
+NodeId RoadNetwork::NearestNode(const Point& p) const {
+  if (nodes_.empty()) return -1;
+  if (!built_) {
+    NodeId best = 0;
+    double best2 = Distance2(p, nodes_[0].p);
+    for (NodeId i = 1; i < static_cast<NodeId>(nodes_.size()); ++i) {
+      const double d2 = Distance2(p, nodes_[i].p);
+      if (d2 < best2) {
+        best2 = d2;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Expanding ring search over buckets.
+  const CellCoord c0 = bucket_grid_.CellAt(p, bucket_level_);
+  const int64_t n = bucket_grid_.Resolution(bucket_level_);
+  NodeId best = -1;
+  double best2 = std::numeric_limits<double>::infinity();
+  const double cell_w = bucket_grid_.region().Width() / static_cast<double>(n);
+  const double cell_h =
+      bucket_grid_.region().Height() / static_cast<double>(n);
+  const double cell_min = std::min(cell_w, cell_h);
+  for (int radius = 0; radius < static_cast<int>(n); ++radius) {
+    // Once we hold a candidate, stop as soon as the next ring cannot beat it.
+    if (best >= 0) {
+      const double ring_min = (radius - 1) * cell_min;
+      if (ring_min > 0.0 && ring_min * ring_min > best2) break;
+    }
+    bool any_cell = false;
+    for (int dx = -radius; dx <= radius; ++dx) {
+      for (int dy = -radius; dy <= radius; ++dy) {
+        if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+        const int32_t x = c0.ix + dx;
+        const int32_t y = c0.iy + dy;
+        if (x < 0 || y < 0 || x >= n || y >= n) continue;
+        any_cell = true;
+        auto it =
+            node_buckets_.find(CellCoord{bucket_level_, x, y}.Key());
+        if (it == node_buckets_.end()) continue;
+        for (const NodeId id : it->second) {
+          const double d2 = Distance2(p, nodes_[id].p);
+          if (d2 < best2) {
+            best2 = d2;
+            best = id;
+          }
+        }
+      }
+    }
+    if (!any_cell && radius > 0 && best >= 0) break;
+  }
+  return best;
+}
+
+std::vector<EdgeId> RoadNetwork::EdgesNear(const Point& p,
+                                           double radius) const {
+  std::vector<EdgeId> out;
+  if (edges_.empty()) return out;
+  std::vector<char> seen(edges_.size(), 0);
+  auto consider = [&](EdgeId e) {
+    if (seen[e]) return;
+    seen[e] = 1;
+    if (PointSegmentDistance(p, EdgeSegment(e)) <= radius) out.push_back(e);
+  };
+  if (!built_) {
+    for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
+      consider(e);
+    }
+    return out;
+  }
+  const int64_t n = bucket_grid_.Resolution(bucket_level_);
+  const double cell_w = bucket_grid_.region().Width() / static_cast<double>(n);
+  const double cell_h =
+      bucket_grid_.region().Height() / static_cast<double>(n);
+  const int rx = static_cast<int>(radius / cell_w) + 1;
+  const int ry = static_cast<int>(radius / cell_h) + 1;
+  const CellCoord c0 = bucket_grid_.CellAt(p, bucket_level_);
+  for (int dx = -rx; dx <= rx; ++dx) {
+    for (int dy = -ry; dy <= ry; ++dy) {
+      const int32_t x = c0.ix + dx;
+      const int32_t y = c0.iy + dy;
+      if (x < 0 || y < 0 || x >= n || y >= n) continue;
+      auto it = edge_buckets_.find(CellCoord{bucket_level_, x, y}.Key());
+      if (it == edge_buckets_.end()) continue;
+      for (const EdgeId e : it->second) consider(e);
+    }
+  }
+  return out;
+}
+
+EdgeId RoadNetwork::NearestEdge(const Point& p) const {
+  if (edges_.empty()) return -1;
+  // Try growing radii through the bucket index before the linear fallback.
+  if (built_) {
+    const double base =
+        std::max(bounds_.Width(), bounds_.Height()) /
+        static_cast<double>(bucket_grid_.Resolution(bucket_level_));
+    for (double r = base; r <= 8 * base; r *= 2) {
+      const auto near = EdgesNear(p, r);
+      if (!near.empty()) {
+        EdgeId best = near[0];
+        double bestd = PointSegmentDistance(p, EdgeSegment(best));
+        for (size_t i = 1; i < near.size(); ++i) {
+          const double d = PointSegmentDistance(p, EdgeSegment(near[i]));
+          if (d < bestd) {
+            bestd = d;
+            best = near[i];
+          }
+        }
+        return best;
+      }
+    }
+  }
+  EdgeId best = 0;
+  double bestd = PointSegmentDistance(p, EdgeSegment(0));
+  for (EdgeId e = 1; e < static_cast<EdgeId>(edges_.size()); ++e) {
+    const double d = PointSegmentDistance(p, EdgeSegment(e));
+    if (d < bestd) {
+      bestd = d;
+      best = e;
+    }
+  }
+  return best;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Arc& a : adj_[u]) {
+      if (!seen[a.to]) {
+        seen[a.to] = 1;
+        ++visited;
+        q.push(a.to);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+}  // namespace frt

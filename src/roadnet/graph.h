@@ -1,0 +1,135 @@
+// Road-network graph substrate.
+//
+// An undirected weighted graph embedded in the plane. Used by the synthetic
+// workload generator (to route realistic trajectories) and by the HMM
+// map-matcher (the recovery attack of paper §V-B3). Nodes carry a POI
+// semantic category, which the KLT baseline's l-diversity/t-closeness
+// constraints consume.
+
+#ifndef FRT_ROADNET_GRAPH_H_
+#define FRT_ROADNET_GRAPH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace frt {
+
+/// Semantic category of the dominant POI around a node (paper: KLT protects
+/// "the categories of POIs").
+enum class PoiCategory : int8_t {
+  kResidential = 0,
+  kOffice = 1,
+  kShopping = 2,
+  kTransport = 3,
+  kLeisure = 4,
+  kMedical = 5,
+  kEducation = 6,
+  kOther = 7,
+};
+
+constexpr int kNumPoiCategories = 8;
+
+/// Stable display name of a category.
+std::string_view PoiCategoryName(PoiCategory c);
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+
+/// \brief A road intersection.
+struct RoadNode {
+  Point p;
+  PoiCategory category = PoiCategory::kOther;
+};
+
+/// \brief An undirected road segment between two intersections.
+struct RoadEdge {
+  NodeId u = -1;
+  NodeId v = -1;
+  double length = 0.0;
+
+  /// The endpoint opposite to `n`.
+  NodeId Other(NodeId n) const { return n == u ? v : u; }
+};
+
+/// \brief Immutable-after-Build road network with spatial lookup support.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  /// Adds a node; returns its id.
+  NodeId AddNode(const Point& p,
+                 PoiCategory category = PoiCategory::kOther);
+
+  /// Adds an undirected edge; length is computed from node positions.
+  /// Parallel edges and self-loops are rejected.
+  Result<EdgeId> AddEdge(NodeId u, NodeId v);
+
+  /// Finalizes the spatial index; must be called after the last mutation
+  /// and before any spatial query.
+  void Build();
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const RoadNode& node(NodeId id) const { return nodes_[id]; }
+  const RoadEdge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<RoadNode>& nodes() const { return nodes_; }
+  const std::vector<RoadEdge>& edges() const { return edges_; }
+
+  /// Geometric segment of an edge.
+  Segment EdgeSegment(EdgeId id) const {
+    const RoadEdge& e = edges_[id];
+    return Segment{nodes_[e.u].p, nodes_[e.v].p};
+  }
+
+  /// Outgoing (edge, neighbor) pairs of a node.
+  struct Arc {
+    EdgeId edge;
+    NodeId to;
+    double length;
+  };
+  const std::vector<Arc>& Adjacent(NodeId n) const { return adj_[n]; }
+
+  /// True when an edge connects u and v.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Spatial extent of all nodes.
+  const BBox& Bounds() const { return bounds_; }
+
+  /// Nearest node to `p` (linear fallback if Build() not called).
+  NodeId NearestNode(const Point& p) const;
+
+  /// All edges whose segment passes within `radius` of `p`.
+  std::vector<EdgeId> EdgesNear(const Point& p, double radius) const;
+
+  /// Nearest edge to `p`; -1 when the network has no edges.
+  EdgeId NearestEdge(const Point& p) const;
+
+  /// Whether every node can reach every other node.
+  bool IsConnected() const;
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<Arc>> adj_;
+
+  // Spatial buckets (uniform grid) for nodes and edges.
+  BBox bounds_;
+  GridSpec bucket_grid_;
+  int bucket_level_ = 0;
+  std::unordered_map<uint64_t, std::vector<NodeId>> node_buckets_;
+  std::unordered_map<uint64_t, std::vector<EdgeId>> edge_buckets_;
+  bool built_ = false;
+};
+
+}  // namespace frt
+
+#endif  // FRT_ROADNET_GRAPH_H_

@@ -1,0 +1,240 @@
+#include "roadnet/map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geo/segment.h"
+#include "roadnet/shortest_path.h"
+
+namespace frt {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  EdgeId edge = -1;
+  Point proj;        // projection of the observation onto the edge
+  double dist = 0.0;  // perpendicular distance observation -> proj
+  double off_u = 0.0;  // along-edge distance node u -> proj
+  double off_v = 0.0;  // along-edge distance node v -> proj
+};
+
+// Candidate edges for one observation, closest-first, capped.
+std::vector<Candidate> CandidatesFor(const RoadNetwork& net, const Point& p,
+                                     const MapMatchConfig& cfg) {
+  std::vector<Candidate> cands;
+  for (const EdgeId e : net.EdgesNear(p, cfg.candidate_radius)) {
+    const Segment s = net.EdgeSegment(e);
+    Candidate c;
+    c.edge = e;
+    c.proj = ClosestPointOnSegment(p, s);
+    c.dist = Distance(p, c.proj);
+    c.off_u = Distance(s.a, c.proj);
+    c.off_v = Distance(s.b, c.proj);
+    cands.push_back(c);
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist < b.dist;
+            });
+  if (static_cast<int>(cands.size()) > cfg.max_candidates) {
+    cands.resize(cfg.max_candidates);
+  }
+  return cands;
+}
+
+// Network route distance between two candidates' projections, using cached
+// bounded Dijkstra trees rooted at the previous candidates' edge endpoints.
+double RouteDistance(
+    const Candidate& from, const Candidate& to, const RoadNetwork& net,
+    double bound,
+    std::unordered_map<NodeId, std::unordered_map<NodeId, double>>* cache) {
+  if (from.edge == to.edge) {
+    return std::fabs(from.off_u - to.off_u);
+  }
+  const RoadEdge& ef = net.edge(from.edge);
+  const RoadEdge& et = net.edge(to.edge);
+  auto tree = [&](NodeId root) -> const std::unordered_map<NodeId, double>& {
+    auto it = cache->find(root);
+    if (it == cache->end()) {
+      it = cache->emplace(root, BoundedDistances(net, root, bound)).first;
+    }
+    return it->second;
+  };
+  auto leg = [&](NodeId a, double off_a, NodeId b, double off_b) {
+    const auto& d = tree(a);
+    auto it = d.find(b);
+    if (it == d.end()) return std::numeric_limits<double>::infinity();
+    return off_a + it->second + off_b;
+  };
+  double best = std::min(
+      std::min(leg(ef.u, from.off_u, et.u, to.off_u),
+               leg(ef.u, from.off_u, et.v, to.off_v)),
+      std::min(leg(ef.v, from.off_v, et.u, to.off_u),
+               leg(ef.v, from.off_v, et.v, to.off_v)));
+  return best;
+}
+
+}  // namespace
+
+HmmMapMatcher::HmmMapMatcher(const RoadNetwork* net, MapMatchConfig config)
+    : net_(net), config_(config) {}
+
+MatchResult HmmMapMatcher::Match(const Trajectory& traj) const {
+  MatchResult result;
+  const size_t n = traj.size();
+  result.matched_edges.assign(n, -1);
+  if (n == 0 || net_->NumEdges() == 0) return result;
+
+  const double log_emission_scale = -0.5 / (config_.gps_sigma *
+                                            config_.gps_sigma);
+
+  // Per-observation candidate sets.
+  std::vector<std::vector<Candidate>> cands(n);
+  for (size_t t = 0; t < n; ++t) {
+    cands[t] = CandidatesFor(*net_, traj[t].p, config_);
+  }
+
+  // Viterbi with restart-on-break. score[t][j], back[t][j].
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> back(n);
+  auto emit = [&](size_t t, size_t j) {
+    const double d = cands[t][j].dist;
+    return log_emission_scale * d * d;
+  };
+
+  std::vector<char> is_start(n, 0);
+  for (size_t t = 0; t < n; ++t) {
+    score[t].assign(cands[t].size(), kNegInf);
+    back[t].assign(cands[t].size(), -1);
+  }
+
+  size_t prev_t = static_cast<size_t>(-1);  // last observation with candidates
+  for (size_t t = 0; t < n; ++t) {
+    if (cands[t].empty()) continue;
+    bool restarted = false;
+    if (prev_t == static_cast<size_t>(-1)) {
+      restarted = true;
+    } else {
+      const double gap = Distance(traj[prev_t].p, traj[t].p);
+      if (gap > config_.max_gap) restarted = true;
+    }
+    if (restarted) {
+      for (size_t j = 0; j < cands[t].size(); ++j) score[t][j] = emit(t, j);
+      is_start[t] = 1;
+      if (t > 0) ++result.num_breaks;
+      prev_t = t;
+      continue;
+    }
+
+    const double straight = Distance(traj[prev_t].p, traj[t].p);
+    const double bound = straight * config_.route_bound_factor +
+                         config_.route_bound_slack;
+    std::unordered_map<NodeId, std::unordered_map<NodeId, double>> cache;
+    bool any = false;
+    for (size_t j = 0; j < cands[t].size(); ++j) {
+      double best = kNegInf;
+      int best_i = -1;
+      for (size_t i = 0; i < cands[prev_t].size(); ++i) {
+        if (score[prev_t][i] == kNegInf) continue;
+        const double route = RouteDistance(cands[prev_t][i], cands[t][j],
+                                           *net_, bound, &cache);
+        if (!std::isfinite(route)) continue;
+        const double trans = -std::fabs(route - straight) / config_.beta;
+        const double s = score[prev_t][i] + trans;
+        if (s > best) {
+          best = s;
+          best_i = static_cast<int>(i);
+        }
+      }
+      if (best_i >= 0) {
+        score[t][j] = best + emit(t, j);
+        back[t][j] = best_i;
+        any = true;
+      }
+    }
+    if (!any) {
+      // All transitions impossible within the bound: break and restart.
+      for (size_t j = 0; j < cands[t].size(); ++j) score[t][j] = emit(t, j);
+      is_start[t] = 1;
+      ++result.num_breaks;
+    }
+    prev_t = t;
+  }
+
+  // Backtrack each segment from its last observation.
+  std::vector<int> chosen(n, -1);
+  size_t seg_end = n;
+  while (seg_end > 0) {
+    // Find the last observation with candidates before seg_end.
+    size_t t = seg_end;
+    while (t > 0 && cands[t - 1].empty()) --t;
+    if (t == 0) break;
+    --t;  // last obs of this segment
+    // argmax over states at t
+    int j = 0;
+    for (size_t k = 1; k < score[t].size(); ++k) {
+      if (score[t][k] > score[t][j]) j = static_cast<int>(k);
+    }
+    // Walk back through the segment.
+    size_t cur = t;
+    while (true) {
+      chosen[cur] = j;
+      if (is_start[cur] || back[cur][j] < 0) break;
+      const int pj = back[cur][j];
+      // previous obs with candidates
+      size_t p = cur;
+      do {
+        --p;
+      } while (p > 0 && cands[p].empty());
+      j = pj;
+      cur = p;
+      if (cands[cur].empty()) break;  // defensive; should not happen
+    }
+    seg_end = cur;  // continue with everything before this segment
+    if (cur == 0) break;
+  }
+
+  for (size_t t = 0; t < n; ++t) {
+    if (chosen[t] >= 0) {
+      result.matched_edges[t] = cands[t][chosen[t]].edge;
+    }
+  }
+
+  // Stitch the route: matched edges plus shortest-path connectors between
+  // consecutive matched observations within a segment.
+  std::unordered_set<EdgeId> route;
+  size_t last_matched = static_cast<size_t>(-1);
+  for (size_t t = 0; t < n; ++t) {
+    if (chosen[t] < 0) continue;
+    const Candidate& c = cands[t][chosen[t]];
+    route.insert(c.edge);
+    if (last_matched != static_cast<size_t>(-1) && !is_start[t]) {
+      const Candidate& pc = cands[last_matched][chosen[last_matched]];
+      if (pc.edge != c.edge) {
+        // Connect via the cheaper endpoint pair.
+        const RoadEdge& pe = net_->edge(pc.edge);
+        const RoadEdge& ce = net_->edge(c.edge);
+        const NodeId from =
+            (pc.off_u <= pc.off_v) ? pe.u : pe.v;  // nearer endpoint
+        const NodeId to = (c.off_u <= c.off_v) ? ce.u : ce.v;
+        auto path = ShortestPath(*net_, from, to);
+        if (path.ok()) {
+          for (const EdgeId e : path->edges) route.insert(e);
+        }
+      }
+    }
+    last_matched = t;
+  }
+  result.route_edges.assign(route.begin(), route.end());
+  std::sort(result.route_edges.begin(), result.route_edges.end());
+  for (const EdgeId e : result.route_edges) {
+    result.route_length += net_->edge(e).length;
+  }
+  return result;
+}
+
+}  // namespace frt

@@ -1,0 +1,73 @@
+// HMM map-matching (Newson & Krumm, SIGSPATIAL 2009) — the engine of the
+// paper's *recovery attack* (§V-B3): reconstructing the road-level route a
+// published (anonymized) trajectory was driven on.
+//
+// Model: candidate road edges within a radius of each observation are HMM
+// states; the emission probability of a candidate falls off as a Gaussian of
+// its perpendicular distance; the transition probability between consecutive
+// candidates falls off exponentially in |route distance - straight-line
+// distance|. Viterbi decoding yields the most probable candidate sequence,
+// which is stitched into a route with shortest paths.
+
+#ifndef FRT_ROADNET_MAP_MATCHER_H_
+#define FRT_ROADNET_MAP_MATCHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/graph.h"
+#include "traj/trajectory.h"
+
+namespace frt {
+
+/// Tuning parameters of the HMM map-matcher.
+struct MapMatchConfig {
+  /// Emission model: GPS noise standard deviation (meters).
+  double gps_sigma = 25.0;
+  /// Transition model scale beta (meters): larger tolerates more detour.
+  double beta = 120.0;
+  /// Radius for candidate edge retrieval around each observation (meters).
+  double candidate_radius = 150.0;
+  /// Maximum candidates kept per observation (closest first).
+  int max_candidates = 4;
+  /// Observations farther apart than this start a new HMM segment (meters).
+  double max_gap = 5000.0;
+  /// Route-distance search bound = straight_line * factor + slack.
+  double route_bound_factor = 3.0;
+  double route_bound_slack = 1200.0;
+};
+
+/// Result of matching one trajectory.
+struct MatchResult {
+  /// Matched edge per observation; -1 when no candidate was in range.
+  std::vector<EdgeId> matched_edges;
+  /// Distinct edges on the stitched route (candidate edges plus all edges on
+  /// the connecting shortest paths).
+  std::vector<EdgeId> route_edges;
+  /// Total length of route_edges (each edge counted once).
+  double route_length = 0.0;
+  /// Number of HMM breaks (observations where decoding restarted).
+  size_t num_breaks = 0;
+};
+
+/// \brief Matches trajectories onto a road network.
+class HmmMapMatcher {
+ public:
+  /// The network must outlive the matcher and be Build()-finalized.
+  HmmMapMatcher(const RoadNetwork* net, MapMatchConfig config = {});
+
+  /// Matches one trajectory. Trajectories with no in-range candidates at all
+  /// produce an empty route (not an error: that is a protection success for
+  /// the anonymizer under attack).
+  MatchResult Match(const Trajectory& traj) const;
+
+  const MapMatchConfig& config() const { return config_; }
+
+ private:
+  const RoadNetwork* net_;
+  MapMatchConfig config_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_ROADNET_MAP_MATCHER_H_

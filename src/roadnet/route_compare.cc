@@ -1,0 +1,68 @@
+#include "roadnet/route_compare.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+namespace frt {
+
+RouteScores CompareRoutes(const RoadNetwork& net,
+                          const std::vector<EdgeId>& truth,
+                          const std::vector<EdgeId>& recovered) {
+  RouteScores s;
+  std::unordered_set<EdgeId> truth_set(truth.begin(), truth.end());
+  std::unordered_set<EdgeId> rec_set(recovered.begin(), recovered.end());
+
+  double len_truth = 0.0;
+  double len_rec = 0.0;
+  double len_overlap = 0.0;
+  for (const EdgeId e : truth_set) len_truth += net.edge(e).length;
+  for (const EdgeId e : rec_set) {
+    len_rec += net.edge(e).length;
+    if (truth_set.count(e) > 0) len_overlap += net.edge(e).length;
+  }
+  if (len_truth <= 0.0) return s;
+
+  s.precision = (len_rec > 0.0) ? len_overlap / len_rec : 0.0;
+  s.recall = len_overlap / len_truth;
+  s.f_score = (s.precision + s.recall > 0.0)
+                  ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+                  : 0.0;
+  const double added = len_rec - len_overlap;    // d+
+  const double missed = len_truth - len_overlap;  // d-
+  s.rmf = (added + missed) / len_truth;
+  return s;
+}
+
+double AlignedPointAccuracy(const std::vector<EdgeId>& true_point_edges,
+                            const std::vector<EdgeId>& matched_point_edges) {
+  if (true_point_edges.empty()) return 0.0;
+  const size_t n = std::min(true_point_edges.size(),
+                            matched_point_edges.size());
+  size_t hit = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (true_point_edges[i] >= 0 &&
+        true_point_edges[i] == matched_point_edges[i]) {
+      ++hit;
+    }
+  }
+  return static_cast<double>(hit) /
+         static_cast<double>(true_point_edges.size());
+}
+
+double PointAccuracy(const std::vector<EdgeId>& true_point_edges,
+                     const std::vector<EdgeId>& recovered_route) {
+  if (true_point_edges.empty()) return 0.0;
+  std::unordered_set<EdgeId> rec_set(recovered_route.begin(),
+                                     recovered_route.end());
+  size_t hit = 0;
+  size_t total = 0;
+  for (const EdgeId e : true_point_edges) {
+    if (e < 0) continue;  // point had no ground-truth edge
+    ++total;
+    if (rec_set.count(e) > 0) ++hit;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+}  // namespace frt

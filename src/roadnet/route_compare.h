@@ -1,0 +1,54 @@
+// Route comparison metrics for the recovery experiment (§V-B3):
+// route-based Precision / Recall / F-score, the length-based Route Mismatch
+// Fraction (RMF), and point-based Accuracy.
+
+#ifndef FRT_ROADNET_ROUTE_COMPARE_H_
+#define FRT_ROADNET_ROUTE_COMPARE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace frt {
+
+/// Per-trajectory recovery scores.
+struct RouteScores {
+  double precision = 0.0;  ///< overlap length / recovered length
+  double recall = 0.0;     ///< overlap length / true length
+  double f_score = 0.0;    ///< harmonic mean of the two
+  double rmf = 0.0;        ///< (erroneously added + missed) / true length;
+                           ///< may exceed 1 when the recovered route is long
+};
+
+/// \brief Compares a recovered edge set against the ground-truth route.
+///
+/// Both inputs are *distinct* edge id lists; lengths are taken from `net`.
+/// An empty truth route yields all-zero scores (skipped by aggregators).
+RouteScores CompareRoutes(const RoadNetwork& net,
+                          const std::vector<EdgeId>& truth,
+                          const std::vector<EdgeId>& recovered);
+
+/// \brief Point-based accuracy: the fraction of per-point true edges that
+/// appear in the recovered route (visit-weighted variant of recall; follows
+/// the point-matching evaluation of map-matching surveys).
+double PointAccuracy(const std::vector<EdgeId>& true_point_edges,
+                     const std::vector<EdgeId>& recovered_route);
+
+/// \brief Strict sequence-aligned point accuracy — the point-matching
+/// evaluation style of [35] the paper reports as "Accuracy".
+///
+/// Position i of the published trajectory is scored against position i of
+/// the original: a hit requires the matched road edge to equal the edge the
+/// original point was emitted on. The denominator is the original length.
+/// Any insertion or deletion desynchronizes the remainder of the sequence,
+/// so record-level edits collapse this metric even when they are
+/// utility-cheap — the paper's GL scores 0.008 while pure removal (SC)
+/// retains the prefix before its first edit (0.162).
+double AlignedPointAccuracy(const std::vector<EdgeId>& true_point_edges,
+                            const std::vector<EdgeId>& matched_point_edges);
+
+}  // namespace frt
+
+#endif  // FRT_ROADNET_ROUTE_COMPARE_H_

@@ -1,0 +1,105 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace frt {
+namespace {
+
+struct QueueEntry {
+  double priority;  // g + h for A*, g for Dijkstra
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+using MinHeap =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>;
+
+}  // namespace
+
+Result<Path> ShortestPath(const RoadNetwork& net, NodeId src, NodeId dst) {
+  const NodeId n = static_cast<NodeId>(net.NumNodes());
+  if (src < 0 || dst < 0 || src >= n || dst >= n) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (src == dst) {
+    Path p;
+    p.nodes.push_back(src);
+    return p;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(n, kInf);
+  std::vector<NodeId> prev_node(n, -1);
+  std::vector<EdgeId> prev_edge(n, -1);
+  std::vector<char> settled(n, 0);
+
+  const Point goal = net.node(dst).p;
+  auto h = [&](NodeId u) { return Distance(net.node(u).p, goal); };
+
+  MinHeap heap;
+  g[src] = 0.0;
+  heap.push({h(src), src});
+  while (!heap.empty()) {
+    const auto [prio, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = 1;
+    if (u == dst) break;
+    for (const auto& arc : net.Adjacent(u)) {
+      if (settled[arc.to]) continue;
+      const double cand = g[u] + arc.length;
+      if (cand < g[arc.to]) {
+        g[arc.to] = cand;
+        prev_node[arc.to] = u;
+        prev_edge[arc.to] = arc.edge;
+        heap.push({cand + h(arc.to), arc.to});
+      }
+    }
+  }
+  if (!settled[dst]) {
+    return Status::NotFound("no path " + std::to_string(src) + " -> " +
+                            std::to_string(dst));
+  }
+
+  Path path;
+  path.length = g[dst];
+  for (NodeId at = dst; at != -1; at = prev_node[at]) {
+    path.nodes.push_back(at);
+    if (prev_edge[at] != -1) path.edges.push_back(prev_edge[at]);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::unordered_map<NodeId, double> BoundedDistances(const RoadNetwork& net,
+                                                    NodeId src,
+                                                    double max_dist) {
+  std::unordered_map<NodeId, double> dist;
+  if (src < 0 || src >= static_cast<NodeId>(net.NumNodes())) return dist;
+  MinHeap heap;
+  dist[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) continue;  // stale entry
+    for (const auto& arc : net.Adjacent(u)) {
+      const double cand = d + arc.length;
+      if (cand > max_dist) continue;
+      auto [vit, inserted] = dist.try_emplace(arc.to, cand);
+      if (!inserted) {
+        if (cand >= vit->second) continue;
+        vit->second = cand;
+      }
+      heap.push({cand, arc.to});
+    }
+  }
+  return dist;
+}
+
+}  // namespace frt

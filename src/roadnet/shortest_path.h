@@ -1,0 +1,39 @@
+// Shortest-path routines over RoadNetwork: A* point-to-point search (used by
+// the workload generator to route trips) and bounded multi-source Dijkstra
+// (used by the HMM map-matcher's transition model).
+
+#ifndef FRT_ROADNET_SHORTEST_PATH_H_
+#define FRT_ROADNET_SHORTEST_PATH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/graph.h"
+
+namespace frt {
+
+/// \brief A path through the network.
+struct Path {
+  std::vector<NodeId> nodes;  ///< visited nodes, src first, dst last
+  std::vector<EdgeId> edges;  ///< edges between consecutive nodes
+  double length = 0.0;        ///< total metric length
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// \brief A*: shortest path from `src` to `dst` using the Euclidean lower
+/// bound as heuristic (admissible since edge weights are metric lengths).
+///
+/// Returns NotFound when dst is unreachable.
+Result<Path> ShortestPath(const RoadNetwork& net, NodeId src, NodeId dst);
+
+/// \brief Dijkstra truncated at `max_dist`: network distances from `src` to
+/// every node within `max_dist`; absent keys are farther than the bound.
+std::unordered_map<NodeId, double> BoundedDistances(const RoadNetwork& net,
+                                                    NodeId src,
+                                                    double max_dist);
+
+}  // namespace frt
+
+#endif  // FRT_ROADNET_SHORTEST_PATH_H_

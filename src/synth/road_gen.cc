@@ -1,0 +1,148 @@
+#include "synth/road_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace frt {
+namespace {
+
+// Union-find for connectivity-preserving edge removal.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+};
+
+PoiCategory CategoryFor(int c, int r, const RoadGenConfig& cfg, Rng& rng) {
+  // Normalized distance from city center in [0, ~1.4].
+  const double dx = (c - cfg.cols / 2.0) / (cfg.cols / 2.0);
+  const double dy = (r - cfg.rows / 2.0) / (cfg.rows / 2.0);
+  const double d = std::sqrt(dx * dx + dy * dy);
+  const double roll = rng.Uniform();
+  if (d < 0.35) {
+    // Downtown: offices, shopping, leisure.
+    if (roll < 0.40) return PoiCategory::kOffice;
+    if (roll < 0.70) return PoiCategory::kShopping;
+    if (roll < 0.85) return PoiCategory::kLeisure;
+    if (roll < 0.92) return PoiCategory::kMedical;
+    return PoiCategory::kOther;
+  }
+  if (d < 0.75) {
+    // Midtown: mixed.
+    if (roll < 0.35) return PoiCategory::kResidential;
+    if (roll < 0.55) return PoiCategory::kOffice;
+    if (roll < 0.68) return PoiCategory::kShopping;
+    if (roll < 0.78) return PoiCategory::kEducation;
+    if (roll < 0.86) return PoiCategory::kLeisure;
+    if (roll < 0.92) return PoiCategory::kMedical;
+    return PoiCategory::kOther;
+  }
+  // Periphery: residential belt with scattered transport hubs.
+  if (roll < 0.62) return PoiCategory::kResidential;
+  if (roll < 0.72) return PoiCategory::kEducation;
+  if (roll < 0.80) return PoiCategory::kShopping;
+  if (roll < 0.88) return PoiCategory::kTransport;
+  return PoiCategory::kOther;
+}
+
+}  // namespace
+
+Result<RoadNetwork> GenerateRoadNetwork(const RoadGenConfig& config,
+                                        uint64_t seed) {
+  if (config.cols < 2 || config.rows < 2) {
+    return Status::InvalidArgument("grid must be at least 2x2");
+  }
+  if (config.spacing <= 0.0) {
+    return Status::InvalidArgument("spacing must be positive");
+  }
+  Rng rng(seed);
+  RoadNetwork net;
+
+  // Nodes: jittered lattice.
+  std::vector<NodeId> node_at(static_cast<size_t>(config.cols) * config.rows);
+  const double jmax = config.jitter * config.spacing;
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      const Point p{c * config.spacing + rng.Uniform(-jmax, jmax),
+                    r * config.spacing + rng.Uniform(-jmax, jmax)};
+      node_at[r * config.cols + c] = net.AddNode(p, CategoryFor(c, r,
+                                                                config, rng));
+    }
+  }
+
+  // Candidate lattice edges (right and up neighbors) plus diagonals.
+  struct Cand {
+    NodeId u, v;
+    bool removable;
+  };
+  std::vector<Cand> cands;
+  auto id = [&](int c, int r) { return node_at[r * config.cols + c]; };
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      if (c + 1 < config.cols) {
+        cands.push_back({id(c, r), id(c + 1, r),
+                         rng.Bernoulli(config.removal_prob)});
+      }
+      if (r + 1 < config.rows) {
+        cands.push_back({id(c, r), id(c, r + 1),
+                         rng.Bernoulli(config.removal_prob)});
+      }
+      if (c + 1 < config.cols && r + 1 < config.rows &&
+          rng.Bernoulli(config.diagonal_prob)) {
+        // One of the two diagonals of this grid square.
+        if (rng.Bernoulli(0.5)) {
+          cands.push_back({id(c, r), id(c + 1, r + 1), false});
+        } else {
+          cands.push_back({id(c + 1, r), id(c, r + 1), false});
+        }
+      }
+    }
+  }
+
+  // First pass: add all kept edges; track connectivity.
+  UnionFind uf(net.NumNodes());
+  for (const Cand& cand : cands) {
+    if (cand.removable) continue;
+    auto st = net.AddEdge(cand.u, cand.v);
+    if (st.ok()) uf.Union(cand.u, cand.v);
+  }
+  // Second pass: re-add removed edges only where needed for connectivity.
+  for (const Cand& cand : cands) {
+    if (!cand.removable) continue;
+    if (uf.Find(cand.u) != uf.Find(cand.v)) {
+      auto st = net.AddEdge(cand.u, cand.v);
+      if (st.ok()) uf.Union(cand.u, cand.v);
+    }
+  }
+
+  net.Build();
+  if (!net.IsConnected()) {
+    return Status::Internal("generated network is not connected");
+  }
+  return net;
+}
+
+}  // namespace frt

@@ -1,0 +1,41 @@
+// Synthetic road-network generation.
+//
+// Substitute for the Beijing road network underlying T-Drive: a jittered
+// Manhattan grid with diagonal avenues, randomly thinned while preserving
+// connectivity. Node POI categories are assigned by zone (center = offices
+// and shopping, periphery = residential) with dedicated transport hubs, so
+// the KLT baseline's semantic constraints have realistic structure.
+
+#ifndef FRT_SYNTH_ROAD_GEN_H_
+#define FRT_SYNTH_ROAD_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "roadnet/graph.h"
+
+namespace frt {
+
+/// Parameters for the synthetic road network.
+struct RoadGenConfig {
+  /// Intersections per side (grid is cols x rows).
+  int cols = 36;
+  int rows = 36;
+  /// Average intersection spacing in meters (T-Drive hop distance ~600 m).
+  double spacing = 550.0;
+  /// Random positional jitter as a fraction of spacing.
+  double jitter = 0.22;
+  /// Probability of removing a non-bridge grid edge (street irregularity).
+  double removal_prob = 0.12;
+  /// Probability of adding a diagonal shortcut inside a grid square.
+  double diagonal_prob = 0.08;
+};
+
+/// \brief Generates a connected road network. Deterministic given the seed.
+Result<RoadNetwork> GenerateRoadNetwork(const RoadGenConfig& config,
+                                        uint64_t seed);
+
+}  // namespace frt
+
+#endif  // FRT_SYNTH_ROAD_GEN_H_

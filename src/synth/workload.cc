@@ -1,0 +1,220 @@
+#include "synth/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "roadnet/shortest_path.h"
+
+namespace frt {
+namespace {
+
+// Picks a random node of the wanted category; falls back to any node.
+NodeId RandomNodeOfCategory(const RoadNetwork& net, PoiCategory cat,
+                            Rng& rng) {
+  // Rejection sampling with a bounded number of tries keeps this O(1) given
+  // that every category has non-trivial mass in the generator's zones.
+  for (int tries = 0; tries < 64; ++tries) {
+    const NodeId n =
+        static_cast<NodeId>(rng.UniformInt(uint64_t{net.NumNodes()}));
+    if (net.node(n).category == cat) return n;
+  }
+  return static_cast<NodeId>(rng.UniformInt(uint64_t{net.NumNodes()}));
+}
+
+struct EmitterState {
+  Trajectory* traj;
+  std::vector<EdgeId>* point_edges;
+  std::unordered_set<EdgeId>* route_set;
+  int64_t now;
+  const WorkloadConfig* cfg;
+  Rng* rng;
+};
+
+void EmitPoint(EmitterState& st, const Point& p, EdgeId on_edge,
+               double noise_sigma) {
+  const Point noisy{p.x + st.rng->Normal(0.0, noise_sigma),
+                    p.y + st.rng->Normal(0.0, noise_sigma)};
+  st.traj->Append(noisy, st.now);
+  st.point_edges->push_back(on_edge);
+  // Small timing jitter keeps temporal signatures from being lattice-like.
+  st.now += st.cfg->sampling_period + st.rng->UniformInt(int64_t{-15},
+                                                         int64_t{15});
+}
+
+// Walks the routed path and emits a sample every `point_spacing` meters.
+// Returns the edge the walker stopped on (for the arrival dwell).
+EdgeId EmitTrip(EmitterState& st, const RoadNetwork& net, const Path& path) {
+  EdgeId last_edge = -1;
+  double carry = 0.0;  // distance already covered since the last sample
+  for (size_t i = 0; i < path.edges.size(); ++i) {
+    const EdgeId eid = path.edges[i];
+    last_edge = eid;
+    const Point a = net.node(path.nodes[i]).p;
+    const Point b = net.node(path.nodes[i + 1]).p;
+    const double len = Distance(a, b);
+    if (len <= 0.0) continue;
+    double pos = st.cfg->point_spacing - carry;
+    while (pos < len) {
+      EmitPoint(st, Lerp(a, b, pos / len), eid, st.cfg->drive_noise);
+      st.route_set->insert(eid);
+      pos += st.cfg->point_spacing;
+    }
+    carry = len - (pos - st.cfg->point_spacing);
+    st.route_set->insert(eid);
+  }
+  return last_edge;
+}
+
+}  // namespace
+
+Result<Workload> GenerateTaxiWorkload(const WorkloadConfig& cfg,
+                                      const RoadGenConfig& road_config,
+                                      uint64_t seed) {
+  if (cfg.num_taxis <= 0) {
+    return Status::InvalidArgument("num_taxis must be positive");
+  }
+  if (cfg.target_points < 10) {
+    return Status::InvalidArgument("target_points must be >= 10");
+  }
+  Rng master(seed);
+  Workload w;
+  FRT_ASSIGN_OR_RETURN(w.network,
+                       GenerateRoadNetwork(road_config, master.Next()));
+  const RoadNetwork& net = w.network;
+
+  // Shared hotspots: prefer transport/shopping nodes.
+  Rng hotspot_rng = master.Fork();
+  std::unordered_set<NodeId> hotspot_set;
+  while (static_cast<int>(w.hotspots.size()) < cfg.num_hotspots) {
+    const PoiCategory cat = hotspot_rng.Bernoulli(0.5)
+                                ? PoiCategory::kTransport
+                                : PoiCategory::kShopping;
+    const NodeId n = RandomNodeOfCategory(net, cat, hotspot_rng);
+    if (hotspot_set.insert(n).second) w.hotspots.push_back(n);
+  }
+
+  w.truth.route_edges.resize(cfg.num_taxis);
+  w.truth.point_edges.resize(cfg.num_taxis);
+  w.taxi_home.resize(cfg.num_taxis);
+  w.taxi_work.resize(cfg.num_taxis);
+
+  for (int taxi = 0; taxi < cfg.num_taxis; ++taxi) {
+    Rng rng(master.Next());
+    const NodeId home =
+        RandomNodeOfCategory(net, PoiCategory::kResidential, rng);
+    NodeId work = RandomNodeOfCategory(net, PoiCategory::kOffice, rng);
+    if (work == home) work = RandomNodeOfCategory(net, PoiCategory::kOffice,
+                                                  rng);
+    w.taxi_home[taxi] = home;
+    w.taxi_work[taxi] = work;
+
+    const int n_personal = static_cast<int>(rng.UniformInt(
+        int64_t{cfg.personal_pois_min}, int64_t{cfg.personal_pois_max}));
+    std::vector<NodeId> personal;
+    for (int i = 0; i < n_personal; ++i) {
+      personal.push_back(static_cast<NodeId>(
+          rng.UniformInt(uint64_t{net.NumNodes()})));
+    }
+
+    Trajectory traj(taxi);
+    std::vector<EdgeId> point_edges;
+    std::unordered_set<EdgeId> route_set;
+
+    // Personal working shift: a daily window outside which no samples are
+    // emitted (the taxi is off duty). Start hour and duration are personal,
+    // so hour-of-day profiles are user-distinctive.
+    const double shift_start_hour = rng.Uniform(0.0, 24.0);
+    const int64_t shift_len = static_cast<int64_t>(
+        rng.Uniform(cfg.shift_hours_min, cfg.shift_hours_max) * 3600.0);
+    int64_t shift_start =
+        cfg.start_time + static_cast<int64_t>(shift_start_hour * 3600.0);
+
+    EmitterState st{&traj, &point_edges, &route_set,
+                    shift_start + static_cast<int64_t>(
+                                      rng.UniformInt(uint64_t{600})),
+                    &cfg, &rng};
+
+    // The shift starts with the taxi departing from home (no dwell: the
+    // first anchor dwell appears a few trips in, as in the real data where
+    // recordings start mid-service).
+    NodeId current = home;
+
+    while (static_cast<int>(traj.size()) < cfg.target_points) {
+      // Off-duty: jump to the start of the next day's shift.
+      if (cfg.daily_shifts && st.now > shift_start + shift_len) {
+        shift_start += 86400;
+        st.now = shift_start + static_cast<int64_t>(
+                                   rng.UniformInt(uint64_t{600}));
+      }
+      // Choose next destination.
+      const double roll = rng.Uniform();
+      NodeId dest;
+      bool anchor = false;
+      if (roll < cfg.p_home) {
+        dest = home;
+        anchor = true;
+      } else if (roll < cfg.p_home + cfg.p_work) {
+        dest = work;
+        anchor = true;
+      } else if (roll < cfg.p_home + cfg.p_work + cfg.p_personal &&
+                 !personal.empty()) {
+        dest = personal[rng.UniformInt(uint64_t{personal.size()})];
+        anchor = true;  // personal POIs also get real dwells
+      } else if (roll <
+                 cfg.p_home + cfg.p_work + cfg.p_personal + cfg.p_hotspot) {
+        dest = w.hotspots[rng.UniformInt(uint64_t{w.hotspots.size()})];
+      } else {
+        dest = static_cast<NodeId>(rng.UniformInt(uint64_t{net.NumNodes()}));
+      }
+      if (dest == current) continue;
+
+      EdgeId arrival_edge = -1;
+      bool emitted = false;
+      if (rng.Bernoulli(cfg.waypoint_prob)) {
+        // Detour via a random waypoint (passenger-style), which diversifies
+        // the roads taken on repeated trips to the same anchor.
+        const NodeId way =
+            static_cast<NodeId>(rng.UniformInt(uint64_t{net.NumNodes()}));
+        if (way != current && way != dest) {
+          auto leg1 = ShortestPath(net, current, way);
+          auto leg2 = ShortestPath(net, way, dest);
+          if (leg1.ok() && leg2.ok() && !leg1->edges.empty() &&
+              !leg2->edges.empty()) {
+            EmitTrip(st, net, *leg1);
+            arrival_edge = EmitTrip(st, net, *leg2);
+            emitted = true;
+          }
+        }
+      }
+      if (!emitted) {
+        auto path = ShortestPath(net, current, dest);
+        if (!path.ok() || path->edges.empty()) continue;
+        arrival_edge = EmitTrip(st, net, *path);
+      }
+
+      // Dwell at the destination.
+      const int dmin = anchor ? cfg.dwell_anchor_min : cfg.dwell_other_min;
+      const int dmax = anchor ? cfg.dwell_anchor_max : cfg.dwell_other_max;
+      const int d = static_cast<int>(
+          rng.UniformInt(int64_t{dmin}, int64_t{dmax}));
+      for (int i = 0; i < d; ++i) {
+        EmitPoint(st, net.node(dest).p, arrival_edge, cfg.dwell_noise);
+      }
+      current = dest;
+    }
+
+    w.truth.point_edges[taxi] = std::move(point_edges);
+    w.truth.route_edges[taxi].assign(route_set.begin(), route_set.end());
+    std::sort(w.truth.route_edges[taxi].begin(),
+              w.truth.route_edges[taxi].end());
+    FRT_RETURN_IF_ERROR(w.dataset.Add(std::move(traj)));
+  }
+
+  FRT_LOG(Info) << "workload: " << w.dataset.size() << " taxis, "
+                << w.dataset.TotalPoints() << " points, avg len "
+                << w.dataset.AvgLength();
+  return w;
+}
+
+}  // namespace frt

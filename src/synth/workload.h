@@ -1,0 +1,99 @@
+// Synthetic taxi workload generation — the T-Drive substitute.
+//
+// Each taxi gets a home, a workplace, and a few personal POIs (visited often
+// by this taxi and rarely by others: exactly the high-PF / low-TF signature
+// structure of paper Fig. 1), plus a shared pool of city hotspots (airport,
+// malls, stations: high TF). A trajectory is a week-long alternation of
+// trips (shortest-path routed, resampled at the T-Drive hop distance) and
+// dwells (repeated samples while parked, which give anchors their high PF).
+//
+// Unlike the real data, the generator retains the ground-truth route of
+// every trajectory, which makes the recovery-attack evaluation (§V-B3)
+// exact instead of approximate.
+
+#ifndef FRT_SYNTH_WORKLOAD_H_
+#define FRT_SYNTH_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/graph.h"
+#include "synth/road_gen.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// Parameters of the taxi workload.
+struct WorkloadConfig {
+  /// Number of taxis = number of trajectories = |D|.
+  int num_taxis = 240;
+  /// Target points per trajectory (T-Drive average is 1,813; the default is
+  /// scaled down for laptop runs — shapes are length-invariant).
+  int target_points = 220;
+  /// Distance between consecutive samples while driving (T-Drive: ~600 m).
+  double point_spacing = 600.0;
+  /// Sampling period in seconds (T-Drive: ~3.1 min).
+  int64_t sampling_period = 186;
+  /// GPS noise while driving / while parked (meters, 1 sigma).
+  double drive_noise = 9.0;
+  double dwell_noise = 2.5;
+  /// Shared city hotspots (high global TF).
+  int num_hotspots = 8;
+  /// Personal POIs per taxi (high PF, low TF — signature locations).
+  int personal_pois_min = 2;
+  int personal_pois_max = 4;
+  /// Destination mix; remainder of the mass goes to uniform random nodes
+  /// (passenger trips), which also makes taxis visit other taxis' anchor
+  /// locations — the cross-visits the local mechanism's Stage-2 exploits.
+  double p_home = 0.30;
+  double p_work = 0.18;
+  double p_personal = 0.15;
+  double p_hotspot = 0.15;
+  /// Dwell lengths (#samples emitted while parked) at anchors vs elsewhere.
+  int dwell_anchor_min = 3;
+  int dwell_anchor_max = 9;
+  int dwell_other_min = 0;
+  int dwell_other_max = 2;
+  /// Probability that a trip routes via a random intermediate waypoint
+  /// (passenger pickups / detours). Keeps repeated anchor trips from
+  /// tracing identical paths, so identifying information concentrates in
+  /// the signature points themselves — the paper's premise.
+  double waypoint_prob = 0.5;
+  /// Epoch of the first sample.
+  int64_t start_time = 1201000000;
+  /// Per-taxi daily working shifts: sampling pauses outside a personal
+  /// window (start hour and length drawn per taxi), giving each taxi a
+  /// distinctive hour-of-day profile — the structure the temporal
+  /// signature attack (LAt) exploits.
+  bool daily_shifts = true;
+  double shift_hours_min = 7.0;
+  double shift_hours_max = 13.0;
+};
+
+/// Ground truth retained by the generator, index-aligned with the dataset.
+struct GroundTruth {
+  /// Distinct road edges traversed over the trajectory's whole history.
+  std::vector<std::vector<EdgeId>> route_edges;
+  /// For each GPS point, the road edge it was emitted on.
+  std::vector<std::vector<EdgeId>> point_edges;
+};
+
+/// A generated benchmark world: network + trajectories + truth.
+struct Workload {
+  RoadNetwork network;
+  Dataset dataset;
+  GroundTruth truth;
+  std::vector<NodeId> hotspots;       ///< shared destination nodes
+  std::vector<NodeId> taxi_home;      ///< per-taxi anchor (signature source)
+  std::vector<NodeId> taxi_work;      ///< per-taxi anchor (signature source)
+};
+
+/// \brief Generates the full workload. Deterministic given the seed.
+Result<Workload> GenerateTaxiWorkload(const WorkloadConfig& workload_config,
+                                      const RoadGenConfig& road_config,
+                                      uint64_t seed);
+
+}  // namespace frt
+
+#endif  // FRT_SYNTH_WORKLOAD_H_

@@ -1,0 +1,87 @@
+// Dataset: the collection D = {tau_1, ..., tau_|D|} of one trajectory per
+// moving object, plus basic aggregate statistics.
+
+#ifndef FRT_TRAJ_DATASET_H_
+#define FRT_TRAJ_DATASET_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "traj/trajectory.h"
+
+namespace frt {
+
+/// \brief A trajectory dataset; index-stable container with id lookup.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Trajectory> trajectories) {
+    for (auto& t : trajectories) Add(std::move(t));
+  }
+
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+  Trajectory& operator[](size_t i) { return trajectories_[i]; }
+
+  const std::vector<Trajectory>& trajectories() const {
+    return trajectories_;
+  }
+  std::vector<Trajectory>& mutable_trajectories() { return trajectories_; }
+
+  /// Appends a trajectory; its id must be unique within the dataset.
+  Status Add(Trajectory t) {
+    if (by_id_.count(t.id()) > 0) {
+      return Status::AlreadyExists("duplicate trajectory id " +
+                                   std::to_string(t.id()));
+    }
+    by_id_[t.id()] = trajectories_.size();
+    trajectories_.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  /// Index of the trajectory with the given id.
+  Result<size_t> IndexOf(TrajId id) const {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      return Status::NotFound("trajectory id " + std::to_string(id));
+    }
+    return it->second;
+  }
+
+  /// Total number of GPS points across all trajectories.
+  size_t TotalPoints() const {
+    size_t n = 0;
+    for (const auto& t : trajectories_) n += t.size();
+    return n;
+  }
+
+  /// Mean trajectory cardinality.
+  double AvgLength() const {
+    return empty() ? 0.0
+                   : static_cast<double>(TotalPoints()) /
+                         static_cast<double>(size());
+  }
+
+  /// Spatial extent of the whole dataset.
+  BBox Bounds() const {
+    BBox b;
+    for (const auto& t : trajectories_) b.Extend(t.Bounds());
+    return b;
+  }
+
+  /// Deep copy with the same ids (anonymizers transform copies).
+  Dataset Clone() const { return *this; }
+
+ private:
+  std::vector<Trajectory> trajectories_;
+  std::unordered_map<TrajId, size_t> by_id_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_TRAJ_DATASET_H_

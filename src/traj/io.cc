@@ -1,0 +1,70 @@
+#include "traj/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace frt {
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << "# traj_id,x,y,t\n";
+  char buf[160];
+  for (const auto& t : dataset.trajectories()) {
+    for (const auto& tp : t.points()) {
+      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%.3f,%.3f,%" PRId64 "\n",
+                    t.id(), tp.p.x, tp.p.y, tp.t);
+      out << buf;
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  Dataset dataset;
+  Trajectory current;
+  bool has_current = false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto fields = Split(stripped, ',');
+    if (fields.size() != 4) {
+      return Status::IOError("line " + std::to_string(lineno) +
+                             ": expected 4 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    FRT_ASSIGN_OR_RETURN(const int64_t id, ParseInt64(fields[0]));
+    FRT_ASSIGN_OR_RETURN(const double x, ParseDouble(fields[1]));
+    FRT_ASSIGN_OR_RETURN(const double y, ParseDouble(fields[2]));
+    FRT_ASSIGN_OR_RETURN(const int64_t t, ParseInt64(fields[3]));
+    if (!has_current) {
+      current = Trajectory(id);
+      has_current = true;
+    } else if (current.id() != id) {
+      FRT_RETURN_IF_ERROR(dataset.Add(std::move(current)));
+      current = Trajectory(id);
+    }
+    current.Append(Point{x, y}, t);
+  }
+  if (has_current && !current.empty()) {
+    FRT_RETURN_IF_ERROR(dataset.Add(std::move(current)));
+  }
+  return dataset;
+}
+
+}  // namespace frt

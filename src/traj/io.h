@@ -1,0 +1,26 @@
+// Plain-text dataset I/O.
+//
+// Format: one CSV line per GPS sample, `traj_id,x,y,t`, sorted by
+// (traj_id, position). Lines starting with '#' are comments. This mirrors
+// the flat layout of public taxi datasets (T-Drive et al.) after projection.
+
+#ifndef FRT_TRAJ_IO_H_
+#define FRT_TRAJ_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// Writes `dataset` to `path` in CSV form. Overwrites existing files.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDatasetCsv (or any file in the
+/// same format). Points of a trajectory must be contiguous lines.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace frt
+
+#endif  // FRT_TRAJ_IO_H_

@@ -1,0 +1,31 @@
+#include "traj/quantizer.h"
+
+#include <unordered_set>
+
+namespace frt {
+
+PointFrequency ComputePointFrequency(const Trajectory& t,
+                                     const Quantizer& quantizer) {
+  PointFrequency pf;
+  pf.reserve(t.size());
+  for (const auto& tp : t.points()) {
+    ++pf[quantizer.KeyOf(tp.p)];
+  }
+  return pf;
+}
+
+TrajectoryFrequency ComputeTrajectoryFrequency(const Dataset& d,
+                                               const Quantizer& quantizer) {
+  TrajectoryFrequency tf;
+  std::unordered_set<LocationKey> seen;
+  for (const auto& t : d.trajectories()) {
+    seen.clear();
+    for (const auto& tp : t.points()) {
+      seen.insert(quantizer.KeyOf(tp.p));
+    }
+    for (const LocationKey k : seen) ++tf[k];
+  }
+  return tf;
+}
+
+}  // namespace frt

@@ -1,0 +1,57 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+
+namespace frt {
+namespace {
+
+// Exact O(n^2) diameter for small n.
+double ExactDiameter(const std::vector<TimedPoint>& pts) {
+  double best2 = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      best2 = std::max(best2, Distance2(pts[i].p, pts[j].p));
+    }
+  }
+  return std::sqrt(best2);
+}
+
+}  // namespace
+
+double Trajectory::Diameter() const {
+  if (points_.size() < 2) return 0.0;
+  if (points_.size() <= 64) return ExactDiameter(points_);
+
+  // For long trajectories, collect the extreme points along 8 directions;
+  // the diameter endpoints are always hull vertices and the 8-direction
+  // extremes bracket the hull tightly for GPS traces. This keeps Diameter()
+  // O(n) while staying within a small relative error of the true value
+  // (exact when the diameter endpoints are axis/diagonal extremes).
+  static const double kDirs[8][2] = {
+      {1, 0}, {0, 1}, {1, 1}, {1, -1}, {0.3827, 0.9239}, {0.9239, 0.3827},
+      {0.9239, -0.3827}, {0.3827, -0.9239}};
+  std::vector<TimedPoint> extremes;
+  extremes.reserve(16);
+  for (const auto& d : kDirs) {
+    size_t lo = 0;
+    size_t hi = 0;
+    double lo_v = 1e300;
+    double hi_v = -1e300;
+    for (size_t i = 0; i < points_.size(); ++i) {
+      const double v = points_[i].p.x * d[0] + points_[i].p.y * d[1];
+      if (v < lo_v) {
+        lo_v = v;
+        lo = i;
+      }
+      if (v > hi_v) {
+        hi_v = v;
+        hi = i;
+      }
+    }
+    extremes.push_back(points_[lo]);
+    extremes.push_back(points_[hi]);
+  }
+  return ExactDiameter(extremes);
+}
+
+}  // namespace frt

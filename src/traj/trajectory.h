@@ -1,0 +1,86 @@
+// Trajectory and dataset model (paper Definition 4).
+//
+// A trajectory is a chronologically ordered sequence of timestamped spatial
+// points; each moving object contributes exactly one trajectory covering its
+// entire history, so |D| trajectories = |D| objects and the adjacency notion
+// for differential privacy is "datasets differing in one trajectory".
+
+#ifndef FRT_TRAJ_TRAJECTORY_H_
+#define FRT_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace frt {
+
+/// Identifier of a moving object / its trajectory.
+using TrajId = int64_t;
+
+/// \brief A single object's full movement history.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(TrajId id) : id_(id) {}
+  Trajectory(TrajId id, std::vector<TimedPoint> points)
+      : id_(id), points_(std::move(points)) {}
+
+  TrajId id() const { return id_; }
+  void set_id(TrajId id) { id_ = id; }
+
+  const std::vector<TimedPoint>& points() const { return points_; }
+  std::vector<TimedPoint>& mutable_points() { return points_; }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const TimedPoint& operator[](size_t i) const { return points_[i]; }
+  TimedPoint& operator[](size_t i) { return points_[i]; }
+
+  void Append(const TimedPoint& tp) { points_.push_back(tp); }
+  void Append(const Point& p, int64_t t) { points_.push_back({p, t}); }
+
+  /// Number of consecutive-point segments (size-1, or 0).
+  size_t NumSegments() const {
+    return points_.size() >= 2 ? points_.size() - 1 : 0;
+  }
+
+  /// The i-th segment <p_i, p_{i+1}>.
+  Segment SegmentAt(size_t i) const {
+    return Segment{points_[i].p, points_[i + 1].p};
+  }
+
+  /// Total polyline length in meters.
+  double Length() const {
+    double len = 0.0;
+    for (size_t i = 0; i + 1 < points_.size(); ++i) {
+      len += Distance(points_[i].p, points_[i + 1].p);
+    }
+    return len;
+  }
+
+  /// Spatial bounding box of all points.
+  BBox Bounds() const {
+    BBox b;
+    for (const auto& tp : points_) b.Extend(tp.p);
+    return b;
+  }
+
+  /// \brief Trajectory diameter: the maximum pairwise point distance.
+  ///
+  /// Computed exactly for short trajectories and via the bounding-box
+  /// convex-extreme heuristic (exact on the 8 extreme points, which contain
+  /// the true diameter endpoints for convex hull extremes) for long ones.
+  double Diameter() const;
+
+ private:
+  TrajId id_ = -1;
+  std::vector<TimedPoint> points_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_TRAJ_TRAJECTORY_H_

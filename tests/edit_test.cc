@@ -1,0 +1,159 @@
+// Tests for core/edit: the editable trajectory and the Def. 5/6 utility
+// losses of the insertion/deletion operations.
+
+#include <gtest/gtest.h>
+
+#include "core/edit.h"
+
+namespace frt {
+namespace {
+
+Trajectory Line(TrajId id, int n, double spacing = 100.0) {
+  Trajectory t(id);
+  for (int i = 0; i < n; ++i) {
+    t.Append(Point{i * spacing, 0.0}, i * 60);
+  }
+  return t;
+}
+
+TEST(EditTest, ConstructionMirrorsTrajectory) {
+  const Trajectory t = Line(3, 4);
+  EditableTrajectory et(t);
+  EXPECT_EQ(et.id(), 3);
+  EXPECT_EQ(et.NumPoints(), 4u);
+  const auto nodes = et.LiveNodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(et.PointAt(nodes[i]).p, t[i].p);
+  }
+  EXPECT_EQ(et.Materialize().points(), t.points());
+}
+
+TEST(EditTest, InsertIntoSegment) {
+  EditableTrajectory et(Line(1, 3));  // (0,0) (100,0) (200,0)
+  const NodeHandle head = et.Head();
+  // Def. 5: the loss equals the point-segment distance.
+  EXPECT_DOUBLE_EQ(et.InsertionLoss(head, {50, 40}), 40.0);
+  auto node = et.InsertInto(head, {50, 40});
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(et.NumPoints(), 4u);
+  const Trajectory out = et.Materialize();
+  EXPECT_EQ(out[1].p, (Point{50, 40}));
+  // Timestamp interpolates the neighbors.
+  EXPECT_EQ(out[1].t, (out[0].t + out[2].t) / 2);
+}
+
+TEST(EditTest, InsertIntoInvalidHandleFails) {
+  EditableTrajectory et(Line(1, 2));
+  const NodeHandle tail = et.Tail();
+  EXPECT_FALSE(et.InsertInto(tail, {0, 0}).ok());  // tail starts no segment
+  EXPECT_FALSE(et.InsertInto(999, {0, 0}).ok());
+}
+
+TEST(EditTest, DeleteMiddleReconnects) {
+  EditableTrajectory et(Line(1, 3));
+  const NodeHandle mid = et.Next(et.Head());
+  // Def. 6: loss is the distance from the deleted point to the reconnected
+  // segment <prev, next>; collinear here, so zero.
+  EXPECT_DOUBLE_EQ(et.DeletionLoss(mid), 0.0);
+  ASSERT_TRUE(et.Delete(mid).ok());
+  EXPECT_EQ(et.NumPoints(), 2u);
+  const Trajectory out = et.Materialize();
+  EXPECT_EQ(out[0].p, (Point{0, 0}));
+  EXPECT_EQ(out[1].p, (Point{200, 0}));
+}
+
+TEST(EditTest, DeleteOffAxisPointHasPositiveLoss) {
+  Trajectory t(1);
+  t.Append({0, 0}, 0);
+  t.Append({100, 80}, 60);  // off the (0,0)-(200,0) line by 80
+  t.Append({200, 0}, 120);
+  EditableTrajectory et(t);
+  EXPECT_DOUBLE_EQ(et.DeletionLoss(et.Next(et.Head())), 80.0);
+}
+
+TEST(EditTest, DeleteEndpointsDegenerateLoss) {
+  EditableTrajectory et(Line(1, 3));
+  // Head: loss is the distance to the surviving neighbor.
+  EXPECT_DOUBLE_EQ(et.DeletionLoss(et.Head()), 100.0);
+  ASSERT_TRUE(et.Delete(et.Head()).ok());
+  EXPECT_EQ(et.NumPoints(), 2u);
+  EXPECT_EQ(et.PointAt(et.Head()).p, (Point{100, 0}));
+  // Tail of the 2-point remainder.
+  EXPECT_DOUBLE_EQ(et.DeletionLoss(et.Tail()), 100.0);
+  ASSERT_TRUE(et.Delete(et.Tail()).ok());
+  EXPECT_EQ(et.NumPoints(), 1u);
+  // Sole remaining point costs nothing to delete.
+  EXPECT_DOUBLE_EQ(et.DeletionLoss(et.Head()), 0.0);
+  ASSERT_TRUE(et.Delete(et.Head()).ok());
+  EXPECT_EQ(et.NumPoints(), 0u);
+  EXPECT_EQ(et.Head(), kInvalidNode);
+  EXPECT_EQ(et.Tail(), kInvalidNode);
+}
+
+TEST(EditTest, DeleteDeadNodeFails) {
+  EditableTrajectory et(Line(1, 2));
+  const NodeHandle head = et.Head();
+  ASSERT_TRUE(et.Delete(head).ok());
+  EXPECT_FALSE(et.Delete(head).ok());
+}
+
+TEST(EditTest, AppendPointExtendsTail) {
+  EditableTrajectory et(Line(1, 1));
+  const NodeHandle n = et.AppendPoint({50, 50}, 77);
+  EXPECT_EQ(et.Tail(), n);
+  EXPECT_EQ(et.NumPoints(), 2u);
+  const Trajectory out = et.Materialize();
+  EXPECT_EQ(out[1].p, (Point{50, 50}));
+  EXPECT_EQ(out[1].t, 77);
+}
+
+TEST(EditTest, AppendToEmptyCreatesHead) {
+  EditableTrajectory et(Trajectory(9));
+  EXPECT_EQ(et.NumPoints(), 0u);
+  et.AppendPoint({1, 2}, 3);
+  EXPECT_EQ(et.NumPoints(), 1u);
+  EXPECT_EQ(et.Head(), et.Tail());
+}
+
+TEST(EditTest, SegmentHandlesSurviveEdits) {
+  EditableTrajectory et(Line(1, 5));
+  const auto nodes = et.LiveNodes();
+  // Delete node 2; segment starting at node 1 now spans to node 3.
+  ASSERT_TRUE(et.Delete(nodes[2]).ok());
+  ASSERT_TRUE(et.IsSegmentStart(nodes[1]));
+  const Segment s = et.SegmentOf(nodes[1]);
+  EXPECT_EQ(s.a, (Point{100, 0}));
+  EXPECT_EQ(s.b, (Point{300, 0}));
+  // Insert into that segment; the new node becomes a segment start.
+  auto inserted = et.InsertInto(nodes[1], {150, 10});
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_TRUE(et.IsSegmentStart(*inserted));
+  EXPECT_EQ(et.SegmentOf(*inserted).b, (Point{300, 0}));
+}
+
+TEST(EditTest, InterleavedEditsKeepOrderConsistent) {
+  EditableTrajectory et(Line(1, 4));
+  auto n1 = et.InsertInto(et.Head(), {10, 5});
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(et.Delete(et.Tail()).ok());
+  auto n2 = et.InsertInto(*n1, {60, -5});
+  ASSERT_TRUE(n2.ok());
+  const Trajectory out = et.Materialize();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].p, (Point{0, 0}));
+  EXPECT_EQ(out[1].p, (Point{10, 5}));
+  EXPECT_EQ(out[2].p, (Point{60, -5}));
+  EXPECT_EQ(out[3].p, (Point{100, 0}));
+  EXPECT_EQ(out[4].p, (Point{200, 0}));
+  // Forward and backward traversal agree.
+  std::vector<NodeHandle> fwd = et.LiveNodes();
+  NodeHandle cur = et.Tail();
+  for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
+    ASSERT_EQ(*it, cur);
+    cur = et.Prev(cur);
+  }
+}
+
+}  // namespace
+}  // namespace frt

@@ -1,0 +1,220 @@
+// Unit tests for src/geo: points, segments, boxes, MINdist, grids.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace frt {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance2({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, Lerp) {
+  const Point p = Lerp({0, 0}, {10, 20}, 0.5);
+  EXPECT_DOUBLE_EQ(p.x, 5.0);
+  EXPECT_DOUBLE_EQ(p.y, 10.0);
+  EXPECT_EQ(Lerp({1, 2}, {3, 4}, 0.0), (Point{1, 2}));
+  EXPECT_EQ(Lerp({1, 2}, {3, 4}, 1.0), (Point{3, 4}));
+}
+
+// --- Point-segment distance (paper Eq. 3) ---
+
+TEST(SegmentTest, PerpendicularProjectionInside) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 3}, s), 3.0);
+  const Point c = ClosestPointOnSegment({5, 3}, s);
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+}
+
+TEST(SegmentTest, ClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({13, 4}, s), 5.0);
+}
+
+TEST(SegmentTest, DegenerateSegmentIsPoint) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 6}, s), 5.0);
+}
+
+TEST(SegmentTest, PointOnSegmentIsZero) {
+  const Segment s{{0, 0}, {10, 10}};
+  EXPECT_NEAR(PointSegmentDistance({5, 5}, s), 0.0, 1e-12);
+}
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  const Segment s{{0, 0}, {6, 8}};
+  EXPECT_DOUBLE_EQ(s.Length(), 10.0);
+  EXPECT_EQ(s.Midpoint(), (Point{3, 4}));
+}
+
+// --- BBox and MINdist (paper Eq. 4 / Def. 12) ---
+
+TEST(BBoxTest, ExtendAndContains) {
+  BBox b;
+  EXPECT_TRUE(b.IsEmpty());
+  b.Extend(Point{1, 2});
+  b.Extend(Point{5, -3});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_TRUE(b.Contains({3, 0}));
+  EXPECT_FALSE(b.Contains({6, 0}));
+  EXPECT_DOUBLE_EQ(b.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(b.Height(), 5.0);
+}
+
+TEST(BBoxTest, MinDistInsideIsZero) {
+  const BBox b = BBox::Of({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MinDistPointBBox({5, 5}, b), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistPointBBox({0, 0}, b), 0.0);  // boundary
+}
+
+TEST(BBoxTest, MinDistToEdgeAndCorner) {
+  const BBox b = BBox::Of({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MinDistPointBBox({15, 5}, b), 5.0);   // right edge
+  EXPECT_DOUBLE_EQ(MinDistPointBBox({5, -2}, b), 2.0);   // bottom edge
+  EXPECT_DOUBLE_EQ(MinDistPointBBox({13, 14}, b), 5.0);  // corner 3-4-5
+}
+
+TEST(BBoxTest, MinDistLowerBoundsSegmentDistance) {
+  // Theorem 4's foundation: MINdist(q, g) <= dist(q, s) for any s inside g.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BBox b = BBox::Of({rng.Uniform(0, 50), rng.Uniform(0, 50)},
+                            {rng.Uniform(50, 100), rng.Uniform(50, 100)});
+    const Point q{rng.Uniform(-50, 150), rng.Uniform(-50, 150)};
+    const Segment s{
+        {rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)},
+        {rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)}};
+    ASSERT_LE(MinDistPointBBox(q, b), PointSegmentDistance(q, s) + 1e-9);
+  }
+}
+
+TEST(BBoxTest, IntersectsAndDiagonal) {
+  const BBox a = BBox::Of({0, 0}, {10, 10});
+  const BBox b = BBox::Of({5, 5}, {15, 15});
+  const BBox c = BBox::Of({11, 11}, {12, 12});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_NEAR(a.Diagonal(), std::sqrt(200.0), 1e-12);
+}
+
+// --- CellCoord ---
+
+TEST(CellCoordTest, ParentChildRelations) {
+  const CellCoord c{3, 5, 6};
+  EXPECT_EQ(c.Parent(), (CellCoord{2, 2, 3}));
+  EXPECT_EQ(c.Child(0), (CellCoord{4, 10, 12}));
+  EXPECT_EQ(c.Child(1), (CellCoord{4, 11, 12}));
+  EXPECT_EQ(c.Child(2), (CellCoord{4, 10, 13}));
+  EXPECT_EQ(c.Child(3), (CellCoord{4, 11, 13}));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.Child(i).Parent(), c);
+  }
+}
+
+TEST(CellCoordTest, RootIsOwnParent) {
+  const CellCoord root{0, 0, 0};
+  EXPECT_EQ(root.Parent(), root);
+}
+
+TEST(CellCoordTest, AncestorRelation) {
+  const CellCoord root{0, 0, 0};
+  const CellCoord mid{4, 7, 3};
+  const CellCoord deep{8, 7 * 16 + 5, 3 * 16 + 9};
+  EXPECT_TRUE(root.IsAncestorOf(mid));
+  EXPECT_TRUE(root.IsAncestorOf(deep));
+  EXPECT_TRUE(mid.IsAncestorOf(deep));
+  EXPECT_FALSE(deep.IsAncestorOf(mid));
+  EXPECT_TRUE(mid.IsAncestorOf(mid));
+  EXPECT_FALSE(mid.IsAncestorOf(CellCoord{4, 6, 3}));
+}
+
+TEST(CellCoordTest, KeyIsUnique) {
+  std::unordered_map<uint64_t, CellCoord> seen;
+  for (int level = 0; level < 6; ++level) {
+    const int n = 1 << level;
+    for (int x = 0; x < n; ++x) {
+      for (int y = 0; y < n; ++y) {
+        const CellCoord c{level, x, y};
+        auto [it, inserted] = seen.emplace(c.Key(), c);
+        ASSERT_TRUE(inserted) << "collision at level " << level;
+      }
+    }
+  }
+}
+
+// --- GridSpec ---
+
+class GridSpecTest : public ::testing::Test {
+ protected:
+  GridSpec grid_{BBox::Of({0, 0}, {1024, 1024}), 6};  // finest 32x32
+};
+
+TEST_F(GridSpecTest, CellAtMapsUniformly) {
+  EXPECT_EQ(grid_.CellAt({0, 0}, 5), (CellCoord{5, 0, 0}));
+  EXPECT_EQ(grid_.CellAt({1023.9, 1023.9}, 5), (CellCoord{5, 31, 31}));
+  EXPECT_EQ(grid_.CellAt({512, 512}, 1), (CellCoord{1, 1, 1}));
+}
+
+TEST_F(GridSpecTest, OutOfRangeClampsToBoundary) {
+  EXPECT_EQ(grid_.CellAt({-100, 2000}, 5), (CellCoord{5, 0, 31}));
+}
+
+TEST_F(GridSpecTest, CellBoxContainsItsPoints) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.Uniform(0, 1024), rng.Uniform(0, 1024)};
+    for (int level = 0; level < grid_.levels(); ++level) {
+      const CellCoord c = grid_.CellAt(p, level);
+      ASSERT_TRUE(grid_.CellBox(c).Contains(p));
+    }
+  }
+}
+
+TEST_F(GridSpecTest, CellBoxNesting) {
+  const CellCoord c{4, 7, 9};
+  const BBox inner = grid_.CellBox(c);
+  const BBox outer = grid_.CellBox(c.Parent());
+  EXPECT_GE(inner.min_x, outer.min_x);
+  EXPECT_LE(inner.max_x, outer.max_x);
+  EXPECT_GE(inner.min_y, outer.min_y);
+  EXPECT_LE(inner.max_y, outer.max_y);
+}
+
+TEST_F(GridSpecTest, BestFitCellIsDeepestCommonCell) {
+  // Points in the same finest cell -> best fit at the finest level.
+  const CellCoord fine = grid_.BestFitCell({10, 10}, {20, 20});
+  EXPECT_EQ(fine.level, grid_.finest_level());
+  // Points in different halves -> only the root contains both.
+  const CellCoord root = grid_.BestFitCell({10, 10}, {1000, 1000});
+  EXPECT_EQ(root.level, 0);
+}
+
+TEST_F(GridSpecTest, BestFitCellContainsBothEndpoints) {
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const Point a{rng.Uniform(0, 1024), rng.Uniform(0, 1024)};
+    const Point b{rng.Uniform(0, 1024), rng.Uniform(0, 1024)};
+    const CellCoord c = grid_.BestFitCell(a, b);
+    const BBox box = grid_.CellBox(c);
+    ASSERT_TRUE(box.Contains(a));
+    ASSERT_TRUE(box.Contains(b));
+    // Definition 11: at the next finer level the endpoints separate (when
+    // not already at the finest level).
+    if (c.level < grid_.finest_level()) {
+      ASSERT_NE(grid_.CellAt(a, c.level + 1), grid_.CellAt(b, c.level + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace frt

@@ -1,0 +1,313 @@
+// Tests for src/index: structural unit tests of the hierarchical grid and a
+// parameterized property suite asserting that every search strategy (UG,
+// HGt, HGb, HG+) returns results cost-equivalent to the linear scan, under
+// both grouping modes, with filters, and across dynamic updates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "index/hierarchical_grid_index.h"
+#include "index/segment_index.h"
+
+namespace frt {
+namespace {
+
+constexpr double kRegionSize = 10000.0;
+
+GridSpec TestGrid() {
+  return GridSpec(BBox::Of({0, 0}, {kRegionSize, kRegionSize}), 10);
+}
+
+SegmentEntry RandomSegment(SegmentHandle handle, TrajId traj, Rng& rng,
+                           double max_len = 600.0) {
+  const Point a{rng.Uniform(0, kRegionSize), rng.Uniform(0, kRegionSize)};
+  const Point b{a.x + rng.Uniform(-max_len, max_len),
+                a.y + rng.Uniform(-max_len, max_len)};
+  return SegmentEntry{
+      handle, traj,
+      Segment{a, {std::clamp(b.x, 0.0, kRegionSize),
+                  std::clamp(b.y, 0.0, kRegionSize)}}};
+}
+
+std::vector<double> Dists(const std::vector<Neighbor>& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (const auto& n : v) out.push_back(n.dist);
+  return out;
+}
+
+void ExpectSameDistances(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  const auto gd = Dists(got);
+  const auto wd = Dists(want);
+  for (size_t i = 0; i < gd.size(); ++i) {
+    ASSERT_NEAR(gd[i], wd[i], 1e-7) << label << " at rank " << i;
+  }
+}
+
+// ---------------- structural tests (hierarchical grid) ----------------
+
+TEST(HierarchicalGridTest, BestFitAssignment) {
+  HierarchicalGridIndex index(TestGrid(), SearchStrategy::kBottomUpDown);
+  // A tiny segment lands in a deep cell; a region-spanning one at the root.
+  SegmentEntry tiny{1, 0, Segment{{10, 10}, {12, 12}}};
+  SegmentEntry wide{2, 0, Segment{{100, 100}, {9900, 9900}}};
+  ASSERT_TRUE(index.Insert(tiny).ok());
+  ASSERT_TRUE(index.Insert(wide).ok());
+  const CellCoord tiny_cell = index.BestFit(tiny.geom);
+  EXPECT_EQ(tiny_cell.level, 9);
+  EXPECT_EQ(index.BestFit(wide.geom).level, 0);
+  EXPECT_EQ(index.CellSegments(tiny_cell), std::vector<SegmentHandle>{1});
+  EXPECT_EQ(index.CellSegments(CellCoord{0, 0, 0}),
+            std::vector<SegmentHandle>{2});
+}
+
+TEST(HierarchicalGridTest, ParentLinksSkipEmptyLevels) {
+  HierarchicalGridIndex index(TestGrid(), SearchStrategy::kBottomUpDown);
+  SegmentEntry deep{1, 0, Segment{{10, 10}, {12, 12}}};
+  ASSERT_TRUE(index.Insert(deep).ok());
+  const CellCoord cell = index.BestFit(deep.geom);
+  // With only root and this cell materialized, the parent is the root.
+  EXPECT_EQ(index.CellParent(cell), (CellCoord{0, 0, 0}));
+  EXPECT_EQ(index.NumCells(), 2u);
+  // Insert a mid-level ancestor: the deep cell reparents beneath it.
+  SegmentEntry mid{2, 0, Segment{{5, 5}, {1200, 1200}}};
+  ASSERT_TRUE(index.Insert(mid).ok());
+  const CellCoord mid_cell = index.BestFit(mid.geom);
+  ASSERT_GT(mid_cell.level, 0);
+  ASSERT_LT(mid_cell.level, cell.level);
+  EXPECT_EQ(index.CellParent(cell), mid_cell);
+  EXPECT_EQ(index.CellParent(mid_cell), (CellCoord{0, 0, 0}));
+}
+
+TEST(HierarchicalGridTest, RemoveSplicesEmptyCells) {
+  HierarchicalGridIndex index(TestGrid(), SearchStrategy::kBottomUpDown);
+  SegmentEntry deep{1, 0, Segment{{10, 10}, {12, 12}}};
+  SegmentEntry mid{2, 0, Segment{{5, 5}, {1200, 1200}}};
+  ASSERT_TRUE(index.Insert(deep).ok());
+  ASSERT_TRUE(index.Insert(mid).ok());
+  ASSERT_EQ(index.NumCells(), 3u);
+  // Removing the mid segment splices its cell; deep reattaches to root.
+  ASSERT_TRUE(index.Remove(2).ok());
+  EXPECT_EQ(index.NumCells(), 2u);
+  EXPECT_EQ(index.CellParent(index.BestFit(deep.geom)),
+            (CellCoord{0, 0, 0}));
+  ASSERT_TRUE(index.Remove(1).ok());
+  EXPECT_EQ(index.NumCells(), 1u);  // root only
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(HierarchicalGridTest, DuplicateHandleRejected) {
+  HierarchicalGridIndex index(TestGrid(), SearchStrategy::kBottomUpDown);
+  SegmentEntry e{1, 0, Segment{{10, 10}, {12, 12}}};
+  ASSERT_TRUE(index.Insert(e).ok());
+  EXPECT_EQ(index.Insert(e).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(index.Remove(99).IsNotFound());
+}
+
+TEST(HierarchicalGridTest, EmptyIndexReturnsNothing) {
+  HierarchicalGridIndex index(TestGrid(), SearchStrategy::kBottomUpDown);
+  SearchOptions options;
+  options.k = 3;
+  EXPECT_TRUE(index.KNearest({100, 100}, options).empty());
+}
+
+TEST(HierarchicalGridTest, PruningReducesDistanceEvaluations) {
+  Rng rng(17);
+  HierarchicalGridIndex hg(TestGrid(), SearchStrategy::kBottomUpDown);
+  auto linear = MakeSegmentIndex(SearchStrategy::kLinear, TestGrid());
+  for (SegmentHandle h = 0; h < 5000; ++h) {
+    const SegmentEntry e = RandomSegment(h, h % 100, rng);
+    ASSERT_TRUE(hg.Insert(e).ok());
+    ASSERT_TRUE(linear->Insert(e).ok());
+  }
+  SearchOptions options;
+  options.k = 5;
+  for (int i = 0; i < 20; ++i) {
+    const Point q{rng.Uniform(0, kRegionSize), rng.Uniform(0, kRegionSize)};
+    (void)hg.KNearest(q, options);
+    (void)linear->KNearest(q, options);
+  }
+  // The hierarchical index must evaluate far fewer exact distances.
+  EXPECT_LT(hg.distance_evaluations(),
+            linear->distance_evaluations() / 5);
+}
+
+// ---------------- parameterized equivalence suite ----------------
+
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<SearchStrategy> {};
+
+TEST_P(StrategyEquivalenceTest, MatchesLinearOnRandomData) {
+  Rng rng(101);
+  auto linear = MakeSegmentIndex(SearchStrategy::kLinear, TestGrid());
+  auto index = MakeSegmentIndex(GetParam(), TestGrid());
+  for (SegmentHandle h = 0; h < 2000; ++h) {
+    const SegmentEntry e = RandomSegment(h, h % 50, rng);
+    ASSERT_TRUE(linear->Insert(e).ok());
+    ASSERT_TRUE(index->Insert(e).ok());
+  }
+  for (const size_t k : {1u, 3u, 10u, 40u}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const Point q{rng.Uniform(0, kRegionSize),
+                    rng.Uniform(0, kRegionSize)};
+      SearchOptions options;
+      options.k = k;
+      const auto want = linear->KNearest(q, options);
+      const auto got = index->KNearest(q, options);
+      ExpectSameDistances(got, want,
+                          std::string(SearchStrategyName(GetParam())) +
+                              " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST_P(StrategyEquivalenceTest, TrajectoryGroupingMatchesLinear) {
+  Rng rng(202);
+  auto linear = MakeSegmentIndex(SearchStrategy::kLinear, TestGrid());
+  auto index = MakeSegmentIndex(GetParam(), TestGrid());
+  for (SegmentHandle h = 0; h < 1500; ++h) {
+    const SegmentEntry e = RandomSegment(h, h % 30, rng);
+    ASSERT_TRUE(linear->Insert(e).ok());
+    ASSERT_TRUE(index->Insert(e).ok());
+  }
+  for (const size_t k : {1u, 5u, 20u}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const Point q{rng.Uniform(0, kRegionSize),
+                    rng.Uniform(0, kRegionSize)};
+      SearchOptions options;
+      options.k = k;
+      options.group_by = GroupBy::kTrajectory;
+      const auto want = linear->KNearest(q, options);
+      const auto got = index->KNearest(q, options);
+      ExpectSameDistances(got, want, "traj mode");
+      // Distinct trajectories only.
+      std::unordered_set<TrajId> trajs;
+      for (const auto& n : got) {
+        ASSERT_TRUE(trajs.insert(n.entry.traj).second);
+      }
+    }
+  }
+}
+
+TEST_P(StrategyEquivalenceTest, FilterExcludesIneligibleSegments) {
+  Rng rng(303);
+  auto index = MakeSegmentIndex(GetParam(), TestGrid());
+  auto linear = MakeSegmentIndex(SearchStrategy::kLinear, TestGrid());
+  for (SegmentHandle h = 0; h < 800; ++h) {
+    const SegmentEntry e = RandomSegment(h, h % 10, rng);
+    ASSERT_TRUE(index->Insert(e).ok());
+    ASSERT_TRUE(linear->Insert(e).ok());
+  }
+  SearchOptions options;
+  options.k = 10;
+  options.filter = [](const SegmentEntry& e) { return e.traj != 3; };
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q{rng.Uniform(0, kRegionSize), rng.Uniform(0, kRegionSize)};
+    const auto got = index->KNearest(q, options);
+    const auto want = linear->KNearest(q, options);
+    ExpectSameDistances(got, want, "filtered");
+    for (const auto& n : got) ASSERT_NE(n.entry.traj, 3);
+  }
+}
+
+TEST_P(StrategyEquivalenceTest, StaysCorrectAcrossUpdates) {
+  Rng rng(404);
+  auto linear = MakeSegmentIndex(SearchStrategy::kLinear, TestGrid());
+  auto index = MakeSegmentIndex(GetParam(), TestGrid());
+  std::vector<SegmentHandle> live;
+  SegmentHandle next = 0;
+  for (int round = 0; round < 6; ++round) {
+    // Insert a batch.
+    for (int i = 0; i < 300; ++i) {
+      const SegmentEntry e = RandomSegment(next, next % 20, rng);
+      ASSERT_TRUE(linear->Insert(e).ok());
+      ASSERT_TRUE(index->Insert(e).ok());
+      live.push_back(next);
+      ++next;
+    }
+    // Remove a random half of the live set.
+    for (size_t i = 0; i < live.size() / 2; ++i) {
+      const size_t pick = rng.UniformInt(uint64_t{live.size()});
+      ASSERT_TRUE(linear->Remove(live[pick]).ok());
+      ASSERT_TRUE(index->Remove(live[pick]).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(index->size(), linear->size());
+    // Verify queries.
+    SearchOptions options;
+    options.k = 7;
+    for (int trial = 0; trial < 8; ++trial) {
+      const Point q{rng.Uniform(0, kRegionSize),
+                    rng.Uniform(0, kRegionSize)};
+      ExpectSameDistances(index->KNearest(q, options),
+                          linear->KNearest(q, options),
+                          "after updates round " + std::to_string(round));
+    }
+  }
+}
+
+TEST_P(StrategyEquivalenceTest, KLargerThanPopulationReturnsAll) {
+  Rng rng(505);
+  auto index = MakeSegmentIndex(GetParam(), TestGrid());
+  for (SegmentHandle h = 0; h < 12; ++h) {
+    ASSERT_TRUE(index->Insert(RandomSegment(h, h, rng)).ok());
+  }
+  SearchOptions options;
+  options.k = 100;
+  EXPECT_EQ(index->KNearest({500, 500}, options).size(), 12u);
+}
+
+TEST_P(StrategyEquivalenceTest, ResultsSortedAscending) {
+  Rng rng(606);
+  auto index = MakeSegmentIndex(GetParam(), TestGrid());
+  for (SegmentHandle h = 0; h < 500; ++h) {
+    ASSERT_TRUE(index->Insert(RandomSegment(h, h % 9, rng)).ok());
+  }
+  SearchOptions options;
+  options.k = 20;
+  const auto result = index->KNearest({5000, 5000}, options);
+  for (size_t i = 0; i + 1 < result.size(); ++i) {
+    ASSERT_LE(result[i].dist, result[i + 1].dist + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyEquivalenceTest,
+    ::testing::Values(SearchStrategy::kUniformGrid,
+                      SearchStrategy::kTopDown, SearchStrategy::kBottomUp,
+                      SearchStrategy::kBottomUpDown),
+    [](const ::testing::TestParamInfo<SearchStrategy>& info) {
+      std::string name(SearchStrategyName(info.param));
+      for (char& c : name) {
+        if (c == '+') c = 'P';
+      }
+      return name;
+    });
+
+TEST(SearchStrategyTest, Names) {
+  EXPECT_EQ(SearchStrategyName(SearchStrategy::kLinear), "Linear");
+  EXPECT_EQ(SearchStrategyName(SearchStrategy::kUniformGrid), "UG");
+  EXPECT_EQ(SearchStrategyName(SearchStrategy::kTopDown), "HGt");
+  EXPECT_EQ(SearchStrategyName(SearchStrategy::kBottomUp), "HGb");
+  EXPECT_EQ(SearchStrategyName(SearchStrategy::kBottomUpDown), "HG+");
+}
+
+TEST(IndexTrajectoryTest, InsertsAllSegments) {
+  Trajectory t(5);
+  t.Append({100, 100}, 0);
+  t.Append({200, 100}, 60);
+  t.Append({200, 200}, 120);
+  auto index = MakeSegmentIndex(SearchStrategy::kBottomUpDown, TestGrid());
+  EXPECT_EQ(IndexTrajectory(t, index.get(), 1000), 2u);
+  EXPECT_EQ(index->size(), 2u);
+}
+
+}  // namespace
+}  // namespace frt

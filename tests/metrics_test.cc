@@ -1,0 +1,215 @@
+// Tests for src/metrics: distribution utilities and the Table II utility
+// metrics (INF, DE, TE, FFP, MI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/distribution.h"
+#include "metrics/utility.h"
+
+namespace frt {
+namespace {
+
+// ---------------- distribution utilities ----------------
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(-3.0);   // clamps into bin 0
+  h.Add(100.0);  // clamps into last bin
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.counts()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.counts()[4], 2.0);
+  const auto p = h.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[4], 0.5);
+}
+
+TEST(DistributionTest, NormalizeHandlesZeroMass) {
+  const auto p = NormalizeToProbabilities({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(DistributionTest, EntropyKnownValues) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({0.5, 0.5}), 1.0);
+  EXPECT_NEAR(ShannonEntropy({0.25, 0.25, 0.25, 0.25}), 2.0, 1e-12);
+}
+
+TEST(DistributionTest, KlProperties) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p), 0.0);
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+}
+
+TEST(DistributionTest, JsdProperties) {
+  const std::vector<double> p{0.5, 0.5, 0.0};
+  const std::vector<double> q{0.0, 0.5, 0.5};
+  const std::vector<double> disjoint_a{1.0, 0.0};
+  const std::vector<double> disjoint_b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(JensenShannonDivergence(p, p), 0.0);
+  EXPECT_NEAR(JensenShannonDivergence(p, q),
+              JensenShannonDivergence(q, p), 1e-12);
+  // Base-2 JSD is bounded by 1, attained for disjoint supports.
+  EXPECT_NEAR(JensenShannonDivergence(disjoint_a, disjoint_b), 1.0, 1e-9);
+  EXPECT_LE(JensenShannonDivergence(p, q), 1.0);
+  EXPECT_GT(JensenShannonDivergence(p, q), 0.0);
+}
+
+TEST(DistributionTest, SparseJsdMatchesDense) {
+  std::unordered_map<uint64_t, double> a{{1, 2.0}, {2, 2.0}};
+  std::unordered_map<uint64_t, double> b{{2, 2.0}, {3, 2.0}};
+  // Dense equivalent over support {1,2,3}: [0.5,0.5,0] vs [0,0.5,0.5].
+  const double dense = JensenShannonDivergence({0.5, 0.5, 0.0},
+                                               {0.0, 0.5, 0.5});
+  EXPECT_NEAR(SparseJensenShannon(a, b), dense, 1e-12);
+  EXPECT_DOUBLE_EQ(SparseJensenShannon(a, a), 0.0);
+}
+
+TEST(DistributionTest, NmiPerfectDependence) {
+  // Y == X over 4 categories.
+  std::unordered_map<uint64_t, double> joint;
+  for (uint32_t x = 0; x < 4; ++x) joint[PackPair(x, x)] = 10.0;
+  EXPECT_NEAR(NormalizedMutualInformation(joint, &PairX, &PairY), 1.0,
+              1e-9);
+}
+
+TEST(DistributionTest, NmiIndependence) {
+  std::unordered_map<uint64_t, double> joint;
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) joint[PackPair(x, y)] = 5.0;
+  }
+  EXPECT_NEAR(NormalizedMutualInformation(joint, &PairX, &PairY), 0.0,
+              1e-9);
+}
+
+TEST(DistributionTest, NmiDegenerateMarginals) {
+  std::unordered_map<uint64_t, double> joint{{PackPair(1, 1), 10.0}};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(joint, &PairX, &PairY), 0.0);
+}
+
+// ---------------- utility metrics ----------------
+
+Dataset GridWalkDataset(int n_traj, int len, double step, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < n_traj; ++i) {
+    Trajectory t(i);
+    Point p{rng.Uniform(1000, 9000), rng.Uniform(1000, 9000)};
+    for (int j = 0; j < len; ++j) {
+      t.Append(p, j * 60);
+      p.x += rng.Uniform(-step, step);
+      p.y += rng.Uniform(-step, step);
+    }
+    (void)d.Add(std::move(t));
+  }
+  return d;
+}
+
+class UtilityTest : public ::testing::Test {
+ protected:
+  UtilityTest()
+      : original_(GridWalkDataset(12, 60, 400, 1)),
+        evaluator_(BBox::Of({0, 0}, {10000, 10000})) {}
+
+  Dataset original_;
+  UtilityEvaluator evaluator_;
+};
+
+TEST_F(UtilityTest, IdenticalDatasetsScorePerfect) {
+  const UtilityScores s = evaluator_.EvaluateAll(original_, original_);
+  EXPECT_DOUBLE_EQ(s.inf, 0.0);
+  EXPECT_DOUBLE_EQ(s.de, 0.0);
+  EXPECT_DOUBLE_EQ(s.te, 0.0);
+  EXPECT_DOUBLE_EQ(s.ffp, 1.0);
+  EXPECT_GT(s.mi, 0.8);  // aligned identical streams: near-total dependence
+}
+
+TEST_F(UtilityTest, DisjointDatasetsScoreWorst) {
+  // Shift everything far away: nothing is preserved.
+  Dataset shifted;
+  for (size_t i = 0; i < original_.size(); ++i) {
+    Trajectory t(original_[i].id());
+    for (const auto& tp : original_[i].points()) {
+      t.Append(Point{tp.p.x, tp.p.y + 5000.0}, tp.t);
+    }
+    ASSERT_TRUE(shifted.Add(std::move(t)).ok());
+  }
+  // Almost everything is lost (points shifted beyond the region boundary
+  // clamp into edge cells, so a tiny residue can coincide).
+  EXPECT_GE(evaluator_.InformationLoss(original_, shifted), 0.9);
+  EXPECT_GT(evaluator_.TripDivergence(original_, shifted), 0.5);
+}
+
+TEST_F(UtilityTest, InfCountsPartialPreservation) {
+  // Truncate every trajectory to its first half: INF ~ 0.5.
+  Dataset halved;
+  for (size_t i = 0; i < original_.size(); ++i) {
+    Trajectory t(original_[i].id());
+    for (size_t p = 0; p < original_[i].size() / 2; ++p) {
+      t.Append(original_[i][p]);
+    }
+    ASSERT_TRUE(halved.Add(std::move(t)).ok());
+  }
+  const double inf = evaluator_.InformationLoss(original_, halved);
+  EXPECT_NEAR(inf, 0.5, 0.05);
+}
+
+TEST_F(UtilityTest, DiameterDivergenceDetectsShrinkage) {
+  // Collapse trajectories to their first point: diameters all zero.
+  Dataset collapsed;
+  for (size_t i = 0; i < original_.size(); ++i) {
+    Trajectory t(original_[i].id());
+    for (size_t p = 0; p < original_[i].size(); ++p) {
+      t.Append(original_[i][0]);
+    }
+    ASSERT_TRUE(collapsed.Add(std::move(t)).ok());
+  }
+  EXPECT_GT(evaluator_.DiameterDivergence(original_, collapsed), 0.5);
+  EXPECT_LT(evaluator_.DiameterDivergence(original_, original_), 1e-12);
+}
+
+TEST_F(UtilityTest, FfpDropsWhenPatternsDestroyed) {
+  Rng rng(7);
+  // Random independent data has different frequent patterns.
+  const Dataset other = GridWalkDataset(12, 60, 400, 99);
+  const double same = evaluator_.FrequentPatternF(original_, original_);
+  const double diff = evaluator_.FrequentPatternF(original_, other);
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_LT(diff, same);
+  (void)rng;
+}
+
+TEST_F(UtilityTest, MiDropsUnderPerturbation) {
+  Rng rng(3);
+  Dataset noisy;
+  for (size_t i = 0; i < original_.size(); ++i) {
+    Trajectory t(original_[i].id());
+    for (const auto& tp : original_[i].points()) {
+      t.Append(Point{tp.p.x + rng.Uniform(-3000, 3000),
+                     tp.p.y + rng.Uniform(-3000, 3000)},
+               tp.t);
+    }
+    ASSERT_TRUE(noisy.Add(std::move(t)).ok());
+  }
+  const double mi_same = evaluator_.MutualInformation(original_, original_);
+  const double mi_noisy = evaluator_.MutualInformation(original_, noisy);
+  EXPECT_LT(mi_noisy, mi_same);
+}
+
+TEST_F(UtilityTest, PairsByIdWithPositionFallback) {
+  // Reverse the order but keep ids: pairing must still match by id.
+  Dataset reversed;
+  for (size_t i = original_.size(); i > 0; --i) {
+    ASSERT_TRUE(reversed.Add(original_[i - 1]).ok());
+  }
+  EXPECT_DOUBLE_EQ(evaluator_.InformationLoss(original_, reversed), 0.0);
+}
+
+}  // namespace
+}  // namespace frt

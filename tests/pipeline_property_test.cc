@@ -1,0 +1,169 @@
+// Property tests on the end-to-end pipeline, parameterized over variants
+// and search strategies: invariants that must hold for ANY run —
+// id/cardinality preservation, deterministic replay, exact budget
+// accounting, and strategy-independence of the privacy spend.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "synth/workload.h"
+
+namespace frt {
+namespace {
+
+struct PipelineCase {
+  double epsilon_global;
+  double epsilon_local;
+  SearchStrategy strategy;
+  MechanismOrder order;
+};
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig wcfg;
+    wcfg.num_taxis = 14;
+    wcfg.target_points = 90;
+    RoadGenConfig rcfg;
+    rcfg.cols = 9;
+    rcfg.rows = 9;
+    auto w = GenerateTaxiWorkload(wcfg, rcfg, 55);
+    ASSERT_TRUE(w.ok());
+    dataset_ = new Dataset(std::move(w->dataset));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* PipelinePropertyTest::dataset_ = nullptr;
+
+FrequencyRandomizerConfig MakeConfig(const PipelineCase& c) {
+  FrequencyRandomizerConfig cfg;
+  cfg.m = 5;
+  cfg.epsilon_global = c.epsilon_global;
+  cfg.epsilon_local = c.epsilon_local;
+  cfg.strategy = c.strategy;
+  cfg.order = c.order;
+  return cfg;
+}
+
+TEST_P(PipelinePropertyTest, PreservesTrajectoryIdsAndCount) {
+  FrequencyRandomizer randomizer(MakeConfig(GetParam()));
+  Rng rng(7);
+  auto out = randomizer.Anonymize(*dataset_, rng);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), dataset_->size());
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_EQ((*out)[i].id(), (*dataset_)[i].id());
+  }
+}
+
+TEST_P(PipelinePropertyTest, SpendsExactlyTheConfiguredBudget) {
+  const PipelineCase& c = GetParam();
+  FrequencyRandomizer randomizer(MakeConfig(c));
+  Rng rng(7);
+  auto out = randomizer.Anonymize(*dataset_, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(randomizer.report().epsilon_spent,
+                   c.epsilon_global + c.epsilon_local);
+}
+
+TEST_P(PipelinePropertyTest, DeterministicReplay) {
+  FrequencyRandomizer a(MakeConfig(GetParam()));
+  FrequencyRandomizer b(MakeConfig(GetParam()));
+  Rng ra(99);
+  Rng rb(99);
+  auto out_a = a.Anonymize(*dataset_, ra);
+  auto out_b = b.Anonymize(*dataset_, rb);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  ASSERT_EQ(out_a->TotalPoints(), out_b->TotalPoints());
+  for (size_t i = 0; i < out_a->size(); ++i) {
+    ASSERT_EQ((*out_a)[i].points(), (*out_b)[i].points()) << "traj " << i;
+  }
+}
+
+TEST_P(PipelinePropertyTest, OutputStaysInsideExpandedRegion) {
+  // Edits may only use representative coordinates of observed locations,
+  // so published points stay within (a slightly padded) original extent.
+  FrequencyRandomizer randomizer(MakeConfig(GetParam()));
+  Rng rng(7);
+  auto out = randomizer.Anonymize(*dataset_, rng);
+  ASSERT_TRUE(out.ok());
+  BBox region = dataset_->Bounds();
+  const double pad =
+      0.05 * std::max(region.Width(), region.Height()) + 100.0;
+  region.min_x -= pad;
+  region.min_y -= pad;
+  region.max_x += pad;
+  region.max_y += pad;
+  for (const auto& t : out->trajectories()) {
+    for (const auto& tp : t.points()) {
+      ASSERT_TRUE(region.Contains(tp.p));
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, TimestampsRemainOrdered) {
+  FrequencyRandomizer randomizer(MakeConfig(GetParam()));
+  Rng rng(7);
+  auto out = randomizer.Anonymize(*dataset_, rng);
+  ASSERT_TRUE(out.ok());
+  for (const auto& t : out->trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      ASSERT_LE(t[i].t, t[i + 1].t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, PipelinePropertyTest,
+    ::testing::Values(
+        PipelineCase{1.0, 0.0, SearchStrategy::kBottomUpDown,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.0, 1.0, SearchStrategy::kBottomUpDown,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.5, 0.5, SearchStrategy::kBottomUpDown,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.5, 0.5, SearchStrategy::kBottomUpDown,
+                     MechanismOrder::kLocalFirst},
+        PipelineCase{0.5, 0.5, SearchStrategy::kLinear,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.5, 0.5, SearchStrategy::kUniformGrid,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.5, 0.5, SearchStrategy::kTopDown,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.5, 0.5, SearchStrategy::kBottomUp,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{0.1, 0.1, SearchStrategy::kBottomUpDown,
+                     MechanismOrder::kGlobalFirst},
+        PipelineCase{5.0, 5.0, SearchStrategy::kBottomUpDown,
+                     MechanismOrder::kGlobalFirst}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      const auto& c = info.param;
+      std::string name;
+      if (c.epsilon_global > 0 && c.epsilon_local > 0) {
+        name = "GL";
+      } else if (c.epsilon_global > 0) {
+        name = "PureG";
+      } else {
+        name = "PureL";
+      }
+      name += "_";
+      name += std::string(SearchStrategyName(c.strategy));
+      name += c.order == MechanismOrder::kGlobalFirst ? "_gfirst"
+                                                      : "_lfirst";
+      name += "_e" + std::to_string(static_cast<int>(
+                         (c.epsilon_global + c.epsilon_local) * 10));
+      for (char& ch : name) {
+        if (ch == '+') ch = 'P';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace frt

@@ -1,0 +1,270 @@
+// Unit tests for src/roadnet: graph, shortest paths, HMM map matching,
+// route comparison.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/rng.h"
+#include "roadnet/graph.h"
+#include "roadnet/map_matcher.h"
+#include "roadnet/route_compare.h"
+#include "roadnet/shortest_path.h"
+#include "synth/road_gen.h"
+
+namespace frt {
+namespace {
+
+// A 3x3 lattice with unit spacing 100.
+RoadNetwork MakeLattice(int n = 3, double spacing = 100.0) {
+  RoadNetwork net;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      net.AddNode(Point{c * spacing, r * spacing});
+    }
+  }
+  auto id = [n](int c, int r) { return r * n + c; };
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (c + 1 < n) EXPECT_TRUE(net.AddEdge(id(c, r), id(c + 1, r)).ok());
+      if (r + 1 < n) EXPECT_TRUE(net.AddEdge(id(c, r), id(c, r + 1)).ok());
+    }
+  }
+  net.Build();
+  return net;
+}
+
+TEST(GraphTest, BasicTopology) {
+  RoadNetwork net = MakeLattice();
+  EXPECT_EQ(net.NumNodes(), 9u);
+  EXPECT_EQ(net.NumEdges(), 12u);
+  EXPECT_TRUE(net.IsConnected());
+  EXPECT_TRUE(net.HasEdge(0, 1));
+  EXPECT_FALSE(net.HasEdge(0, 4));
+  EXPECT_EQ(net.Adjacent(4).size(), 4u);  // center node
+}
+
+TEST(GraphTest, RejectsBadEdges) {
+  RoadNetwork net;
+  const NodeId a = net.AddNode({0, 0});
+  const NodeId b = net.AddNode({1, 0});
+  EXPECT_TRUE(net.AddEdge(a, b).ok());
+  EXPECT_FALSE(net.AddEdge(a, a).ok());          // self loop
+  EXPECT_FALSE(net.AddEdge(a, b).ok());          // parallel
+  EXPECT_FALSE(net.AddEdge(a, 99).ok());         // out of range
+}
+
+TEST(GraphTest, NearestNodeAndEdge) {
+  RoadNetwork net = MakeLattice();
+  EXPECT_EQ(net.NearestNode({10, 10}), 0);
+  EXPECT_EQ(net.NearestNode({190, 210}), 8);
+  const EdgeId e = net.NearestEdge({50, 5});
+  const Segment s = net.EdgeSegment(e);
+  EXPECT_LE(PointSegmentDistance({50, 5}, s), 5.0 + 1e-9);
+}
+
+TEST(GraphTest, EdgesNearFindsAllWithinRadius) {
+  RoadNetwork net = MakeLattice();
+  const auto near = net.EdgesNear({50, 0}, 10.0);
+  ASSERT_EQ(near.size(), 1u);  // only the bottom-left horizontal edge
+  const auto wide = net.EdgesNear({100, 100}, 120.0);
+  EXPECT_GE(wide.size(), 4u);
+}
+
+TEST(GraphTest, DisconnectedDetection) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({10, 0});
+  net.AddNode({100, 0});
+  EXPECT_TRUE(net.AddEdge(0, 1).ok());
+  net.Build();
+  EXPECT_FALSE(net.IsConnected());
+}
+
+// --- shortest paths ---
+
+TEST(ShortestPathTest, LatticeManhattan) {
+  RoadNetwork net = MakeLattice();
+  auto p = ShortestPath(net, 0, 8);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->length, 400.0);
+  EXPECT_EQ(p->nodes.front(), 0);
+  EXPECT_EQ(p->nodes.back(), 8);
+  EXPECT_EQ(p->edges.size(), p->nodes.size() - 1);
+}
+
+TEST(ShortestPathTest, TrivialAndInvalid) {
+  RoadNetwork net = MakeLattice();
+  auto self = ShortestPath(net, 4, 4);
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(self->length, 0.0);
+  EXPECT_EQ(self->nodes.size(), 1u);
+  EXPECT_FALSE(ShortestPath(net, 0, 99).ok());
+}
+
+TEST(ShortestPathTest, UnreachableIsNotFound) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({10, 0});
+  net.Build();
+  EXPECT_TRUE(ShortestPath(net, 0, 1).status().IsNotFound());
+}
+
+TEST(ShortestPathTest, MatchesDijkstraOnRandomNetwork) {
+  RoadGenConfig cfg;
+  cfg.cols = 8;
+  cfg.rows = 8;
+  auto net = GenerateRoadNetwork(cfg, /*seed=*/3);
+  ASSERT_TRUE(net.ok());
+  // Reference: textbook Dijkstra without heuristic.
+  auto dijkstra = [&](NodeId src, NodeId dst) {
+    std::vector<double> dist(net->NumNodes(), 1e300);
+    using QE = std::pair<double, NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<QE>> q;
+    dist[src] = 0;
+    q.push({0, src});
+    while (!q.empty()) {
+      auto [d, u] = q.top();
+      q.pop();
+      if (d > dist[u]) continue;
+      for (const auto& arc : net->Adjacent(u)) {
+        if (d + arc.length < dist[arc.to]) {
+          dist[arc.to] = d + arc.length;
+          q.push({dist[arc.to], arc.to});
+        }
+      }
+    }
+    return dist[dst];
+  };
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId a = rng.UniformInt(uint64_t{net->NumNodes()});
+    const NodeId b = rng.UniformInt(uint64_t{net->NumNodes()});
+    auto p = ShortestPath(*net, a, b);
+    ASSERT_TRUE(p.ok());
+    ASSERT_NEAR(p->length, dijkstra(a, b), 1e-6);
+  }
+}
+
+TEST(ShortestPathTest, BoundedDistancesRespectBound) {
+  RoadNetwork net = MakeLattice(5, 100.0);
+  const auto dist = BoundedDistances(net, 0, 250.0);
+  for (const auto& [node, d] : dist) {
+    EXPECT_LE(d, 250.0);
+  }
+  EXPECT_TRUE(dist.count(0));
+  EXPECT_DOUBLE_EQ(dist.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.at(1), 100.0);
+  EXPECT_DOUBLE_EQ(dist.at(6), 200.0);  // (1,1)
+  EXPECT_EQ(dist.count(24), 0u);        // far corner (800) out of bound
+}
+
+// --- HMM map matching ---
+
+TEST(MapMatcherTest, CleanTraceOnLatticeRecoversRoute) {
+  RoadNetwork net = MakeLattice(5, 500.0);
+  // Drive along the bottom row: nodes 0,1,2,3,4.
+  Trajectory traj(0);
+  for (int i = 0; i <= 8; ++i) {
+    traj.Append(Point{i * 250.0, 4.0}, i * 60);
+  }
+  HmmMapMatcher matcher(&net);
+  const MatchResult result = matcher.Match(traj);
+  ASSERT_FALSE(result.route_edges.empty());
+  // The true route consists of the 4 bottom-row edges.
+  std::vector<EdgeId> truth;
+  for (EdgeId e = 0; e < static_cast<EdgeId>(net.NumEdges()); ++e) {
+    const Segment s = net.EdgeSegment(e);
+    if (s.a.y < 1.0 && s.b.y < 1.0) truth.push_back(e);
+  }
+  const RouteScores scores = CompareRoutes(net, truth, result.route_edges);
+  EXPECT_GE(scores.recall, 0.99);
+  EXPECT_GE(scores.precision, 0.99);
+}
+
+TEST(MapMatcherTest, NoisyTraceStillMatches) {
+  RoadNetwork net = MakeLattice(5, 500.0);
+  Rng rng(42);
+  Trajectory traj(0);
+  for (int i = 0; i <= 8; ++i) {
+    traj.Append(Point{i * 250.0 + rng.Normal(0, 30),
+                      rng.Normal(0, 30)},
+                i * 60);
+  }
+  HmmMapMatcher matcher(&net);
+  const MatchResult result = matcher.Match(traj);
+  std::vector<EdgeId> truth;
+  for (EdgeId e = 0; e < static_cast<EdgeId>(net.NumEdges()); ++e) {
+    const Segment s = net.EdgeSegment(e);
+    if (s.a.y < 1.0 && s.b.y < 1.0) truth.push_back(e);
+  }
+  const RouteScores scores = CompareRoutes(net, truth, result.route_edges);
+  EXPECT_GE(scores.f_score, 0.8);
+}
+
+TEST(MapMatcherTest, EmptyTrajectoryYieldsEmptyRoute) {
+  RoadNetwork net = MakeLattice();
+  HmmMapMatcher matcher(&net);
+  const MatchResult result = matcher.Match(Trajectory(0));
+  EXPECT_TRUE(result.route_edges.empty());
+  EXPECT_TRUE(result.matched_edges.empty());
+}
+
+TEST(MapMatcherTest, FarAwayPointsAreUnmatched) {
+  RoadNetwork net = MakeLattice(3, 100.0);
+  Trajectory traj(0);
+  traj.Append(Point{5000, 5000}, 0);  // far outside candidate radius
+  traj.Append(Point{50, 2}, 60);
+  HmmMapMatcher matcher(&net);
+  const MatchResult result = matcher.Match(traj);
+  EXPECT_EQ(result.matched_edges[0], -1);
+  EXPECT_NE(result.matched_edges[1], -1);
+}
+
+// --- route comparison ---
+
+TEST(RouteCompareTest, IdenticalRoutesScorePerfect) {
+  RoadNetwork net = MakeLattice();
+  const std::vector<EdgeId> route{0, 1, 2};
+  const RouteScores s = CompareRoutes(net, route, route);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f_score, 1.0);
+  EXPECT_DOUBLE_EQ(s.rmf, 0.0);
+}
+
+TEST(RouteCompareTest, DisjointRoutesScoreZero) {
+  RoadNetwork net = MakeLattice();
+  const RouteScores s = CompareRoutes(net, {0, 1}, {5, 6});
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f_score, 0.0);
+  // All recovered length is wrong and all truth is missed.
+  EXPECT_GT(s.rmf, 1.0);
+}
+
+TEST(RouteCompareTest, RmfCanExceedOne) {
+  RoadNetwork net = MakeLattice();
+  // Recover a superset: everything right plus lots of wrong edges.
+  const RouteScores s = CompareRoutes(net, {0}, {0, 1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_GT(s.rmf, 1.0);
+}
+
+TEST(RouteCompareTest, EmptyTruthYieldsZeros) {
+  RoadNetwork net = MakeLattice();
+  const RouteScores s = CompareRoutes(net, {}, {0, 1});
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmf, 0.0);
+}
+
+TEST(RouteCompareTest, PointAccuracy) {
+  EXPECT_DOUBLE_EQ(PointAccuracy({0, 0, 1, 2}, {0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(PointAccuracy({3, 3}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(PointAccuracy({}, {0}), 0.0);
+  // Points with no ground-truth edge (-1) are excluded.
+  EXPECT_DOUBLE_EQ(PointAccuracy({-1, 0}, {0}), 1.0);
+}
+
+}  // namespace
+}  // namespace frt

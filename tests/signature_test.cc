@@ -1,0 +1,134 @@
+// Tests for core/signature: PF/TF weighting and top-m extraction on crafted
+// datasets with known answers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/signature.h"
+
+namespace frt {
+namespace {
+
+// Builds a trajectory visiting each (point, count) in order.
+Trajectory Visits(TrajId id,
+                  std::initializer_list<std::pair<Point, int>> visits) {
+  Trajectory t(id);
+  int64_t ts = 0;
+  for (const auto& [p, count] : visits) {
+    for (int i = 0; i < count; ++i) {
+      t.Append(p, ts);
+      ts += 60;
+    }
+  }
+  return t;
+}
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  SignatureTest() : quantizer_(BBox::Of({0, 0}, {1000, 1000}), 11) {}
+  Quantizer quantizer_;
+};
+
+TEST_F(SignatureTest, HighPfLowTfWins) {
+  // "home" (500,500) is visited often by user 1 only; the "mall" (100,100)
+  // is visited by everyone. Home must dominate user 1's signature.
+  Dataset d;
+  ASSERT_TRUE(d.Add(Visits(1, {{{500, 500}, 10}, {{100, 100}, 5},
+                               {{200, 300}, 1}})).ok());
+  ASSERT_TRUE(d.Add(Visits(2, {{{100, 100}, 8}, {{700, 700}, 2}})).ok());
+  ASSERT_TRUE(d.Add(Visits(3, {{{100, 100}, 6}, {{800, 200}, 3}})).ok());
+
+  SignatureExtractor extractor(&quantizer_, 2);
+  auto sig = extractor.Extract(d);
+  ASSERT_TRUE(sig.ok());
+  ASSERT_EQ(sig->per_traj.size(), 3u);
+  ASSERT_FALSE(sig->per_traj[0].empty());
+  EXPECT_EQ(sig->per_traj[0][0].key, quantizer_.KeyOf({500, 500}));
+  // The mall is visited by all |D| trajectories: log(3/3) = 0 weight, so it
+  // can never outrank user-specific locations.
+  for (const auto& wl : sig->per_traj[0]) {
+    EXPECT_NE(wl.key, quantizer_.KeyOf({100, 100}));
+  }
+}
+
+TEST_F(SignatureTest, WeightFormulaMatchesPaper) {
+  Dataset d;
+  ASSERT_TRUE(d.Add(Visits(1, {{{500, 500}, 4}, {{300, 300}, 1}})).ok());
+  ASSERT_TRUE(d.Add(Visits(2, {{{300, 300}, 2}})).ok());
+  SignatureExtractor extractor(&quantizer_, 5);
+  auto sig = extractor.Extract(d);
+  ASSERT_TRUE(sig.ok());
+  // Trajectory 1: |tau| = 5, home PF 4 TF 1 -> (4/5)*ln(2/1).
+  const auto& top = sig->per_traj[0][0];
+  EXPECT_EQ(top.key, quantizer_.KeyOf({500, 500}));
+  EXPECT_EQ(top.pf, 4);
+  EXPECT_EQ(top.tf, 1);
+  EXPECT_NEAR(top.weight, 0.8 * std::log(2.0), 1e-12);
+}
+
+TEST_F(SignatureTest, TopMCapsSignatureSize) {
+  Dataset d;
+  Trajectory t(1);
+  for (int i = 0; i < 30; ++i) {
+    t.Append(Point{10.0 + 20 * i, 10.0}, i * 60);
+  }
+  ASSERT_TRUE(d.Add(std::move(t)).ok());
+  ASSERT_TRUE(d.Add(Visits(2, {{{900, 900}, 3}})).ok());
+  SignatureExtractor extractor(&quantizer_, 10);
+  auto sig = extractor.Extract(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->per_traj[0].size(), 10u);
+  EXPECT_EQ(sig->per_traj[1].size(), 1u);  // fewer distinct locations than m
+}
+
+TEST_F(SignatureTest, CandidateSetIsUnionOfSignatures) {
+  Dataset d;
+  ASSERT_TRUE(d.Add(Visits(1, {{{500, 500}, 5}, {{100, 900}, 1}})).ok());
+  ASSERT_TRUE(d.Add(Visits(2, {{{700, 100}, 5}, {{100, 900}, 1}})).ok());
+  SignatureExtractor extractor(&quantizer_, 1);
+  auto sig = extractor.Extract(d);
+  ASSERT_TRUE(sig.ok());
+  ASSERT_EQ(sig->candidate_set.size(), 2u);
+  // TF over P matches the dataset TF.
+  EXPECT_EQ(sig->tf_over_p.at(quantizer_.KeyOf({500, 500})), 1);
+  EXPECT_EQ(sig->tf_over_p.at(quantizer_.KeyOf({700, 100})), 1);
+}
+
+TEST_F(SignatureTest, SignatureSortedByWeightDescending) {
+  Dataset d;
+  ASSERT_TRUE(d.Add(Visits(1, {{{500, 500}, 8}, {{300, 300}, 4},
+                               {{600, 100}, 2}, {{50, 50}, 1}})).ok());
+  ASSERT_TRUE(d.Add(Visits(2, {{{900, 900}, 1}})).ok());
+  SignatureExtractor extractor(&quantizer_, 4);
+  auto sig = extractor.Extract(d);
+  ASSERT_TRUE(sig.ok());
+  const auto& s = sig->per_traj[0];
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    EXPECT_GE(s[i].weight, s[i + 1].weight);
+  }
+}
+
+TEST_F(SignatureTest, RejectsInvalidInput) {
+  Dataset empty;
+  SignatureExtractor extractor(&quantizer_, 10);
+  EXPECT_FALSE(extractor.Extract(empty).ok());
+  Dataset d;
+  ASSERT_TRUE(d.Add(Visits(1, {{{1, 1}, 1}})).ok());
+  SignatureExtractor bad(&quantizer_, 0);
+  EXPECT_FALSE(bad.Extract(d).ok());
+}
+
+TEST_F(SignatureTest, EmptyTrajectoryGetsEmptySignature) {
+  Dataset d;
+  ASSERT_TRUE(d.Add(Trajectory(1)).ok());
+  ASSERT_TRUE(d.Add(Visits(2, {{{100, 100}, 2}})).ok());
+  SignatureExtractor extractor(&quantizer_, 3);
+  auto sig = extractor.Extract(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(sig->per_traj[0].empty());
+  EXPECT_EQ(sig->per_traj[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace frt

@@ -1,0 +1,247 @@
+// Unit tests for src/synth: road generation and the taxi workload (the
+// T-Drive substitute). The workload tests assert exactly the structural
+// properties the paper's mechanisms rely on: dwell-heavy anchors with high
+// PF and low TF, shared hotspots with high TF, road-constrained geometry,
+// and consistent ground truth.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/signature.h"
+#include "synth/road_gen.h"
+#include "synth/workload.h"
+#include "traj/quantizer.h"
+
+namespace frt {
+namespace {
+
+RoadGenConfig SmallRoad() {
+  RoadGenConfig cfg;
+  cfg.cols = 12;
+  cfg.rows = 12;
+  return cfg;
+}
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig cfg;
+  cfg.num_taxis = 20;
+  cfg.target_points = 150;
+  return cfg;
+}
+
+TEST(RoadGenTest, GeneratesConnectedNetwork) {
+  auto net = GenerateRoadNetwork(SmallRoad(), 1);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->NumNodes(), 144u);
+  EXPECT_TRUE(net->IsConnected());
+  EXPECT_GT(net->NumEdges(), net->NumNodes());  // denser than a tree
+}
+
+TEST(RoadGenTest, DeterministicForSeed) {
+  auto a = GenerateRoadNetwork(SmallRoad(), 5);
+  auto b = GenerateRoadNetwork(SmallRoad(), 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (size_t i = 0; i < a->NumNodes(); ++i) {
+    EXPECT_EQ(a->node(i).p, b->node(i).p);
+  }
+}
+
+TEST(RoadGenTest, DifferentSeedsDiffer) {
+  auto a = GenerateRoadNetwork(SmallRoad(), 1);
+  auto b = GenerateRoadNetwork(SmallRoad(), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = a->NumEdges() != b->NumEdges();
+  for (size_t i = 0; !any_diff && i < a->NumNodes(); ++i) {
+    any_diff = !(a->node(i).p == b->node(i).p);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RoadGenTest, AllCategoriesPresent) {
+  auto net = GenerateRoadNetwork(SmallRoad(), 3);
+  ASSERT_TRUE(net.ok());
+  std::unordered_set<int> cats;
+  for (const auto& n : net->nodes()) {
+    cats.insert(static_cast<int>(n.category));
+  }
+  // Residential / office / shopping must exist for the workload to work.
+  EXPECT_TRUE(cats.count(static_cast<int>(PoiCategory::kResidential)));
+  EXPECT_TRUE(cats.count(static_cast<int>(PoiCategory::kOffice)));
+  EXPECT_TRUE(cats.count(static_cast<int>(PoiCategory::kShopping)));
+}
+
+TEST(RoadGenTest, RejectsBadConfig) {
+  RoadGenConfig cfg;
+  cfg.cols = 1;
+  EXPECT_FALSE(GenerateRoadNetwork(cfg, 1).ok());
+  cfg = RoadGenConfig{};
+  cfg.spacing = -5;
+  EXPECT_FALSE(GenerateRoadNetwork(cfg, 1).ok());
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto w = GenerateTaxiWorkload(SmallWorkload(), SmallRoad(), 42);
+    ASSERT_TRUE(w.ok());
+    workload_ = new Workload(std::move(*w));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+};
+
+Workload* WorkloadTest::workload_ = nullptr;
+
+TEST_F(WorkloadTest, SizesMatchConfig) {
+  EXPECT_EQ(workload_->dataset.size(), 20u);
+  for (const auto& t : workload_->dataset.trajectories()) {
+    EXPECT_GE(t.size(), 150u);
+    EXPECT_LE(t.size(), 220u);  // overshoot bounded by one trip
+  }
+  EXPECT_EQ(workload_->truth.route_edges.size(), 20u);
+  EXPECT_EQ(workload_->truth.point_edges.size(), 20u);
+}
+
+TEST_F(WorkloadTest, GroundTruthAlignsWithPoints) {
+  for (size_t i = 0; i < workload_->dataset.size(); ++i) {
+    EXPECT_EQ(workload_->truth.point_edges[i].size(),
+              workload_->dataset[i].size());
+    // Every per-point edge is part of the trajectory's route set.
+    std::unordered_set<EdgeId> route(
+        workload_->truth.route_edges[i].begin(),
+        workload_->truth.route_edges[i].end());
+    for (const EdgeId e : workload_->truth.point_edges[i]) {
+      if (e >= 0) EXPECT_TRUE(route.count(e) > 0);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, PointsLieNearTheirGroundTruthEdge) {
+  for (size_t i = 0; i < workload_->dataset.size(); ++i) {
+    const auto& traj = workload_->dataset[i];
+    for (size_t p = 0; p < traj.size(); ++p) {
+      const EdgeId e = workload_->truth.point_edges[i][p];
+      if (e < 0) continue;
+      const double d =
+          PointSegmentDistance(traj[p].p, workload_->network.EdgeSegment(e));
+      ASSERT_LE(d, 60.0) << "traj " << i << " point " << p;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ConsecutivePointSpacingMatchesTDriveScale) {
+  // Driving points should be spaced around point_spacing; dwell points are
+  // near-zero. Check that the median driving hop is in a sane band.
+  std::vector<double> hops;
+  for (const auto& t : workload_->dataset.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      const double d = Distance(t[i].p, t[i + 1].p);
+      if (d > 100.0) hops.push_back(d);
+    }
+  }
+  ASSERT_FALSE(hops.empty());
+  std::sort(hops.begin(), hops.end());
+  const double median = hops[hops.size() / 2];
+  EXPECT_GE(median, 300.0);
+  EXPECT_LE(median, 900.0);
+}
+
+TEST_F(WorkloadTest, TimestampsStrictlyIncrease) {
+  for (const auto& t : workload_->dataset.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      ASSERT_LT(t[i].t, t[i + 1].t);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, HomeHasHighPointFrequency) {
+  // The home anchor must be among the most frequent locations (dwells).
+  BBox region = workload_->dataset.Bounds();
+  Quantizer q(region, 11);
+  size_t taxis_with_dominant_home = 0;
+  for (size_t i = 0; i < workload_->dataset.size(); ++i) {
+    const Point home =
+        workload_->network.node(workload_->taxi_home[i]).p;
+    const PointFrequency pf =
+        ComputePointFrequency(workload_->dataset[i], q);
+    auto it = pf.find(q.KeyOf(home));
+    if (it == pf.end()) continue;
+    // Home must be well above the per-location average.
+    const double avg = static_cast<double>(workload_->dataset[i].size()) /
+                       static_cast<double>(pf.size());
+    if (static_cast<double>(it->second) >= 3.0 * avg) {
+      ++taxis_with_dominant_home;
+    }
+  }
+  EXPECT_GE(taxis_with_dominant_home, workload_->dataset.size() * 3 / 4);
+}
+
+TEST_F(WorkloadTest, SignatureCapturesAnchors) {
+  // The paper's premise: home/work-like anchors dominate the signature.
+  BBox region = workload_->dataset.Bounds();
+  Quantizer q(region, 11);
+  q.RegisterDataset(workload_->dataset);
+  SignatureExtractor extractor(&q, 10);
+  auto sig = extractor.Extract(workload_->dataset);
+  ASSERT_TRUE(sig.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < workload_->dataset.size(); ++i) {
+    const LocationKey home_key =
+        q.KeyOf(workload_->network.node(workload_->taxi_home[i]).p);
+    for (const auto& wl : sig->per_traj[i]) {
+      if (wl.key == home_key) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  // Home should be in the top-10 signature for the vast majority of taxis.
+  EXPECT_GE(hits, workload_->dataset.size() * 3 / 4);
+}
+
+TEST_F(WorkloadTest, HotspotsHaveHighTrajectoryFrequency) {
+  BBox region = workload_->dataset.Bounds();
+  Quantizer q(region, 11);
+  const TrajectoryFrequency tf =
+      ComputeTrajectoryFrequency(workload_->dataset, q);
+  double hotspot_tf = 0.0;
+  for (const NodeId h : workload_->hotspots) {
+    auto it = tf.find(q.KeyOf(workload_->network.node(h).p));
+    if (it != tf.end()) {
+      hotspot_tf = std::max(hotspot_tf, static_cast<double>(it->second));
+    }
+  }
+  // At least one hotspot is visited by a quarter of the fleet.
+  EXPECT_GE(hotspot_tf, workload_->dataset.size() / 4.0);
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  auto again = GenerateTaxiWorkload(SmallWorkload(), SmallRoad(), 42);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->dataset.size(), workload_->dataset.size());
+  for (size_t i = 0; i < again->dataset.size(); ++i) {
+    ASSERT_EQ(again->dataset[i].size(), workload_->dataset[i].size());
+    for (size_t p = 0; p < again->dataset[i].size(); ++p) {
+      ASSERT_EQ(again->dataset[i][p].p, workload_->dataset[i][p].p);
+    }
+  }
+}
+
+TEST(WorkloadConfigTest, RejectsBadConfig) {
+  WorkloadConfig cfg;
+  cfg.num_taxis = 0;
+  EXPECT_FALSE(GenerateTaxiWorkload(cfg, SmallRoad(), 1).ok());
+  cfg = WorkloadConfig{};
+  cfg.target_points = 2;
+  EXPECT_FALSE(GenerateTaxiWorkload(cfg, SmallRoad(), 1).ok());
+}
+
+}  // namespace
+}  // namespace frt
