@@ -1,0 +1,18 @@
+# Warning configuration shared by every FRT target.
+#
+# frt_target_warnings(<target>) applies the project warning set, promoting
+# warnings to errors when -DFRT_WERROR=ON.
+
+function(frt_target_warnings target)
+  if(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(FRT_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  else()
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(FRT_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  endif()
+endfunction()

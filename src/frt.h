@@ -42,6 +42,10 @@
 #include "core/pipeline.h"
 #include "core/signature.h"
 
+// Batch runtime (sharded execution)
+#include "runtime/batch_runner.h"
+#include "runtime/shard_plan.h"
+
 // Baselines
 #include "baselines/adatrace.h"
 #include "baselines/dpt.h"

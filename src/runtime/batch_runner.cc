@@ -1,0 +1,91 @@
+#include "runtime/batch_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace frt {
+
+std::string BatchRunner::name() const {
+  FrequencyRandomizer pipeline(config_.pipeline);
+  return pipeline.name() + "[batch x" +
+         std::to_string(std::max(1, config_.shards)) + "]";
+}
+
+Result<Dataset> BatchRunner::Anonymize(const Dataset& input, Rng& rng) {
+  report_ = BatchReport{};
+  const double total_budget =
+      config_.pipeline.epsilon_global + config_.pipeline.epsilon_local;
+  accountant_ = PrivacyAccountant(total_budget);
+  if (input.empty()) return Status::InvalidArgument("empty dataset");
+
+  Stopwatch wall;
+  const std::vector<ShardRange> plan = PlanShards(input.size(), config_.shards);
+  const size_t k = plan.size();
+
+  // Fork one stream per shard up front, on the caller's thread: shard i
+  // always receives the i-th fork, so output is a pure function of the
+  // incoming RNG state and the shard count, never of scheduling.
+  std::vector<Rng> streams;
+  streams.reserve(k);
+  for (size_t i = 0; i < k; ++i) streams.push_back(rng.Fork());
+
+  std::vector<Dataset> shard_inputs(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = plan[i].begin; j < plan[i].end; ++j) {
+      FRT_RETURN_IF_ERROR(shard_inputs[i].Add(input[j]));
+    }
+  }
+
+  // Per-shard result slots; written by distinct indices only.
+  std::vector<Result<Dataset>> shard_outputs(
+      k, Result<Dataset>(Status::Internal("shard not executed")));
+  std::vector<RandomizerReport> shard_reports(k);
+  ParallelFor(
+      k,
+      [&](size_t i) {
+        FrequencyRandomizer pipeline(config_.pipeline);
+        shard_outputs[i] = pipeline.Anonymize(shard_inputs[i], streams[i]);
+        shard_reports[i] = pipeline.report();
+        shard_inputs[i] = Dataset();  // release the copy as soon as possible
+      },
+      config_.threads);
+
+  Dataset merged;
+  report_.shards_run = static_cast<int>(k);
+  report_.per_shard = std::move(shard_reports);
+  for (size_t i = 0; i < k; ++i) {
+    if (!shard_outputs[i].ok()) return shard_outputs[i].status();
+    for (auto& t : shard_outputs[i]->mutable_trajectories()) {
+      FRT_RETURN_IF_ERROR(merged.Add(std::move(t)));
+    }
+    const RandomizerReport& r = report_.per_shard[i];
+    report_.combined.local_seconds += r.local_seconds;
+    report_.combined.global_seconds += r.global_seconds;
+    report_.combined.local.edits.MergeFrom(r.local.edits);
+    report_.combined.local.total_abs_frequency_change +=
+        r.local.total_abs_frequency_change;
+    report_.combined.local.trajectories_processed +=
+        r.local.trajectories_processed;
+    report_.combined.global.edits.MergeFrom(r.global.edits);
+    report_.combined.global.total_abs_tf_change += r.global.total_abs_tf_change;
+    report_.combined.global.points_perturbed += r.global.points_perturbed;
+    report_.combined.candidate_set_size += r.candidate_set_size;
+    report_.epsilon_spent = std::max(report_.epsilon_spent, r.epsilon_spent);
+  }
+  report_.combined.epsilon_spent = report_.epsilon_spent;
+
+  // Every object appears in exactly one shard, so the dataset-level spend is
+  // the per-shard maximum (parallel composition), not the sum.
+  if (report_.epsilon_spent > 0.0) {
+    FRT_RETURN_IF_ERROR(accountant_.Spend(
+        report_.epsilon_spent, "parallel composition over " +
+                                   std::to_string(k) + " shards"));
+  }
+  report_.wall_seconds = wall.ElapsedSeconds();
+  return merged;
+}
+
+}  // namespace frt

@@ -1,0 +1,44 @@
+// Partition planning for the batch runtime: split n items into K contiguous,
+// balanced ranges. Contiguity keeps the merged output in input order, and
+// balance keeps shard wall-clocks comparable under static scheduling.
+
+#ifndef FRT_RUNTIME_SHARD_PLAN_H_
+#define FRT_RUNTIME_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace frt {
+
+/// \brief Half-open index range [begin, end) owned by one shard.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// \brief Plans K contiguous ranges covering [0, n).
+///
+/// The shard count is clamped to [1, n] so no shard is ever empty; the first
+/// n % K shards receive one extra item. Returns an empty plan when n == 0.
+inline std::vector<ShardRange> PlanShards(size_t n, int shards) {
+  std::vector<ShardRange> plan;
+  if (n == 0) return plan;
+  size_t k = shards < 1 ? 1 : static_cast<size_t>(shards);
+  if (k > n) k = n;
+  const size_t base = n / k;
+  const size_t extra = n % k;
+  plan.reserve(k);
+  size_t begin = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    plan.push_back({begin, begin + len});
+    begin += len;
+  }
+  return plan;
+}
+
+}  // namespace frt
+
+#endif  // FRT_RUNTIME_SHARD_PLAN_H_

@@ -1,0 +1,95 @@
+// Unit tests for common/parallel.h: edge-case sizes, thread clamping, and
+// write-to-distinct-slots determinism.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace frt {
+namespace {
+
+TEST(ParallelForTest, ZeroItemsNeverInvokes) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleItemRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  size_t index = 99;
+  ParallelFor(
+      1,
+      [&](size_t i) {
+        seen = std::this_thread::get_id();
+        index = i;
+      },
+      8);
+  EXPECT_EQ(seen, caller);  // n == 1 short-circuits to the calling thread
+  EXPECT_EQ(index, 0u);
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  for (const size_t n : {2u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v.store(0);
+    ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); }, 4);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ParallelForTest, FewerItemsThanThreads) {
+  // Requesting far more workers than items must still visit each index
+  // exactly once (workers are clamped to n).
+  const size_t n = 3;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); }, 64);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, OversubscriptionCompletes) {
+  // Many more workers than cores: the loop must neither deadlock nor skip.
+  const size_t n = 10000;
+  std::atomic<size_t> sum{0};
+  ParallelFor(n, [&](size_t i) { sum.fetch_add(i + 1); }, 32);
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TEST(ParallelForTest, DistinctSlotWritesAreDeterministic) {
+  // The documented usage pattern: each index writes only slot i. The result
+  // must be identical across repeated runs and across thread counts.
+  const size_t n = 512;
+  auto run = [n](unsigned threads) {
+    std::vector<uint64_t> out(n, 0);
+    ParallelFor(
+        n, [&](size_t i) { out[i] = i * 2654435761ULL + 17; }, threads);
+    return out;
+  };
+  const std::vector<uint64_t> base = run(1);
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(5));
+  EXPECT_EQ(base, run(16));
+  EXPECT_EQ(base, run(0));  // hardware concurrency default
+}
+
+TEST(ParallelForTest, ExplicitSingleThreadPreservesOrder) {
+  // workers <= 1 degrades to a plain sequential loop in index order.
+  std::vector<size_t> order;
+  ParallelFor(8, [&](size_t i) { order.push_back(i); }, 1);
+  std::vector<size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace frt

@@ -26,8 +26,12 @@ RoadNetwork MakeLattice(int n = 3, double spacing = 100.0) {
   auto id = [n](int c, int r) { return r * n + c; };
   for (int r = 0; r < n; ++r) {
     for (int c = 0; c < n; ++c) {
-      if (c + 1 < n) EXPECT_TRUE(net.AddEdge(id(c, r), id(c + 1, r)).ok());
-      if (r + 1 < n) EXPECT_TRUE(net.AddEdge(id(c, r), id(c, r + 1)).ok());
+      if (c + 1 < n) {
+        EXPECT_TRUE(net.AddEdge(id(c, r), id(c + 1, r)).ok());
+      }
+      if (r + 1 < n) {
+        EXPECT_TRUE(net.AddEdge(id(c, r), id(c, r + 1)).ok());
+      }
     }
   }
   net.Build();

@@ -1,0 +1,77 @@
+// Unit tests for runtime/shard_plan.h.
+
+#include "runtime/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+namespace frt {
+namespace {
+
+// The invariants every plan must satisfy: contiguous coverage of [0, n),
+// no empty shards, and sizes differing by at most one.
+void CheckPlan(size_t n, int shards) {
+  const auto plan = PlanShards(n, shards);
+  if (n == 0) {
+    EXPECT_TRUE(plan.empty());
+    return;
+  }
+  const size_t expected_k =
+      shards < 1 ? 1
+                 : (static_cast<size_t>(shards) > n
+                        ? n
+                        : static_cast<size_t>(shards));
+  ASSERT_EQ(plan.size(), expected_k);
+  size_t cursor = 0;
+  size_t min_size = n;
+  size_t max_size = 0;
+  for (const auto& range : plan) {
+    EXPECT_EQ(range.begin, cursor);
+    EXPECT_GT(range.end, range.begin);
+    cursor = range.end;
+    min_size = range.size() < min_size ? range.size() : min_size;
+    max_size = range.size() > max_size ? range.size() : max_size;
+  }
+  EXPECT_EQ(cursor, n);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ShardPlanTest, EmptyInput) { CheckPlan(0, 4); }
+
+TEST(ShardPlanTest, SingleShard) { CheckPlan(10, 1); }
+
+TEST(ShardPlanTest, EvenSplit) {
+  CheckPlan(12, 4);
+  const auto plan = PlanShards(12, 4);
+  for (const auto& range : plan) EXPECT_EQ(range.size(), 3u);
+}
+
+TEST(ShardPlanTest, RemainderSpreadOverLeadingShards) {
+  const auto plan = PlanShards(10, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].size(), 3u);
+  EXPECT_EQ(plan[1].size(), 3u);
+  EXPECT_EQ(plan[2].size(), 2u);
+  EXPECT_EQ(plan[3].size(), 2u);
+}
+
+TEST(ShardPlanTest, MoreShardsThanItemsClampsToItems) {
+  CheckPlan(3, 100);
+  EXPECT_EQ(PlanShards(3, 100).size(), 3u);
+}
+
+TEST(ShardPlanTest, NonPositiveShardCountClampsToOne) {
+  CheckPlan(5, 0);
+  CheckPlan(5, -7);
+  EXPECT_EQ(PlanShards(5, 0).size(), 1u);
+}
+
+TEST(ShardPlanTest, Sweep) {
+  for (size_t n : {1u, 2u, 17u, 100u, 1001u}) {
+    for (int k : {1, 2, 3, 8, 64}) CheckPlan(n, k);
+  }
+}
+
+}  // namespace
+}  // namespace frt

@@ -118,7 +118,9 @@ TEST_F(WorkloadTest, GroundTruthAlignsWithPoints) {
         workload_->truth.route_edges[i].begin(),
         workload_->truth.route_edges[i].end());
     for (const EdgeId e : workload_->truth.point_edges[i]) {
-      if (e >= 0) EXPECT_TRUE(route.count(e) > 0);
+      if (e >= 0) {
+        EXPECT_TRUE(route.count(e) > 0);
+      }
     }
   }
 }
