@@ -1,0 +1,94 @@
+// Bounded multi-producer multi-consumer queue with blocking backpressure.
+//
+// The streaming runtime uses it as the coupling between the ingest thread
+// (producer: parsed trajectories) and the window assembler (consumer): a
+// fixed capacity caps the memory held in flight, so a fast reader blocks in
+// Push() instead of ballooning the heap when anonymization is the
+// bottleneck. Close() drains cleanly: producers stop, consumers keep
+// popping until the queue is empty, then Pop() returns nullopt.
+
+#ifndef FRT_COMMON_BOUNDED_QUEUE_H_
+#define FRT_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace frt {
+
+/// \brief Fixed-capacity blocking FIFO, safe for any number of producer and
+/// consumer threads.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 is remapped to 1 (a zero-capacity queue would deadlock).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) when
+  /// the queue was closed before space became available.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// nullopt means no item will ever arrive again.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the end of the stream: pending Push() calls fail, consumers
+  /// drain the remaining items and then see nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace frt
+
+#endif  // FRT_COMMON_BOUNDED_QUEUE_H_

@@ -40,8 +40,16 @@ class PrivacyAccountant {
     }
     spent_ += epsilon;
     ledger_.push_back({epsilon, std::move(label)});
+    if (max_ledger_entries_ > 0 && ledger_.size() > max_ledger_entries_) {
+      ledger_.erase(ledger_.begin());
+    }
     return Status::OK();
   }
+
+  /// Caps the retained ledger entries (oldest dropped first); `spent()`
+  /// and enforcement stay exact. Long-running services set this so the
+  /// ledger does not grow without bound. 0 (default) keeps everything.
+  void set_max_ledger_entries(size_t n) { max_ledger_entries_ = n; }
 
   /// Total epsilon consumed so far (sequential composition).
   double spent() const { return spent_; }
@@ -65,6 +73,7 @@ class PrivacyAccountant {
   double total_budget_ = 0.0;
   double spent_ = 0.0;
   bool enforce_ = false;
+  size_t max_ledger_entries_ = 0;
   std::vector<Entry> ledger_;
 };
 

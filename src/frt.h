@@ -45,6 +45,12 @@
 // Batch runtime (sharded execution)
 #include "runtime/batch_runner.h"
 #include "runtime/shard_plan.h"
+#include "runtime/work_stealing_pool.h"
+
+// Streaming runtime (windowed ingest-to-publish service)
+#include "common/bounded_queue.h"
+#include "stream/ingest.h"
+#include "stream/stream_runner.h"
 
 // Baselines
 #include "baselines/adatrace.h"

@@ -39,23 +39,42 @@ Result<Dataset> BatchRunner::Anonymize(const Dataset& input, Rng& rng) {
     }
   }
 
-  // Per-shard result slots; written by distinct indices only.
+  // Per-shard result slots; written by distinct indices only, so the output
+  // is identical under either dispatch policy and any worker count.
   std::vector<Result<Dataset>> shard_outputs(
       k, Result<Dataset>(Status::Internal("shard not executed")));
   std::vector<RandomizerReport> shard_reports(k);
-  ParallelFor(
-      k,
-      [&](size_t i) {
-        FrequencyRandomizer pipeline(config_.pipeline);
-        shard_outputs[i] = pipeline.Anonymize(shard_inputs[i], streams[i]);
-        shard_reports[i] = pipeline.report();
-        shard_inputs[i] = Dataset();  // release the copy as soon as possible
-      },
-      config_.threads);
+  std::vector<double> shard_walls(k, 0.0);
+  auto shard_task = [&](size_t i) {
+    Stopwatch shard_watch;
+    FrequencyRandomizer pipeline(config_.pipeline);
+    shard_outputs[i] = pipeline.Anonymize(shard_inputs[i], streams[i]);
+    shard_reports[i] = pipeline.report();
+    shard_inputs[i] = Dataset();  // release the copy as soon as possible
+    shard_walls[i] = shard_watch.ElapsedSeconds();
+  };
+  if (k == 1) {
+    shard_task(0);  // no pool or thread spawn for a single shard
+  } else if (config_.dispatch == ShardDispatch::kStatic) {
+    ParallelFor(k, shard_task, config_.threads);
+  } else if (config_.pool != nullptr) {
+    config_.pool->Run(k, shard_task);
+  } else {
+    WorkStealingPool pool(config_.threads);
+    pool.Run(k, shard_task);
+  }
 
   Dataset merged;
   report_.shards_run = static_cast<int>(k);
   report_.per_shard = std::move(shard_reports);
+  report_.shard_wall_seconds = std::move(shard_walls);
+  report_.shard_wall_min = report_.shard_wall_seconds[0];
+  for (const double s : report_.shard_wall_seconds) {
+    report_.shard_wall_min = std::min(report_.shard_wall_min, s);
+    report_.shard_wall_max = std::max(report_.shard_wall_max, s);
+    report_.shard_wall_mean += s;
+  }
+  report_.shard_wall_mean /= static_cast<double>(k);
   for (size_t i = 0; i < k; ++i) {
     if (!shard_outputs[i].ok()) return shard_outputs[i].status();
     for (auto& t : shard_outputs[i]->mutable_trajectories()) {

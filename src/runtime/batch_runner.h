@@ -28,8 +28,19 @@
 #include "core/pipeline.h"
 #include "dp/accountant.h"
 #include "runtime/shard_plan.h"
+#include "runtime/work_stealing_pool.h"
 
 namespace frt {
+
+/// How shards are assigned to worker threads.
+enum class ShardDispatch {
+  /// Dynamic assignment via WorkStealingPool: idle workers steal queued
+  /// shards, so a skewed shard no longer serializes the tail of the batch.
+  kWorkStealing,
+  /// Static stride assignment (shard i on worker i % threads) via
+  /// ParallelFor. Kept for A/B measurement in bench_stream.
+  kStatic,
+};
 
 /// Configuration of the batch runtime.
 struct BatchRunnerConfig {
@@ -39,6 +50,13 @@ struct BatchRunnerConfig {
   int shards = 1;
   /// Worker threads for shard execution; 0 means hardware concurrency.
   unsigned threads = 0;
+  /// Shard-to-thread assignment policy.
+  ShardDispatch dispatch = ShardDispatch::kWorkStealing;
+  /// Optional externally owned pool reused across Anonymize calls (the
+  /// streaming runtime shares one pool across all windows). When null and
+  /// dispatch is kWorkStealing, an ephemeral pool is created per call.
+  /// Ignored under kStatic.
+  WorkStealingPool* pool = nullptr;
 };
 
 /// Aggregated diagnostics of one batch run.
@@ -54,6 +72,13 @@ struct BatchReport {
   RandomizerReport combined;
   /// Raw per-shard reports, in shard order.
   std::vector<RandomizerReport> per_shard;
+  /// Wall seconds of each shard's pipeline run, in shard order — the skew
+  /// profile that motivates work stealing.
+  std::vector<double> shard_wall_seconds;
+  /// Skew summary over shard_wall_seconds (all 0 when no shards ran).
+  double shard_wall_min = 0.0;
+  double shard_wall_max = 0.0;
+  double shard_wall_mean = 0.0;
 };
 
 /// \brief Runs the paper's pipeline shard-by-shard over a partitioned

@@ -1,0 +1,121 @@
+#include "runtime/work_stealing_pool.h"
+
+namespace frt {
+
+WorkStealingPool::WorkStealingPool(unsigned num_threads) {
+  num_workers_ =
+      num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  if (num_workers_ == 0) num_workers_ = 1;
+  if (num_workers_ == 1) return;  // inline execution, no threads
+  queues_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkStealingPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Deal indices round-robin. No run is in flight, so the deques are idle;
+  // the locks are only taken to pair with the workers' accesses.
+  for (size_t i = 0; i < n; ++i) {
+    WorkerQueue& q = *queues_[i % num_workers_];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    fn_ = &fn;
+    remaining_.store(n, std::memory_order_release);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(run_mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0 &&
+           active_workers_ == 0;
+  });
+  fn_ = nullptr;
+}
+
+bool WorkStealingPool::TryAcquire(unsigned id, size_t* index) {
+  {
+    WorkerQueue& own = *queues_[id];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *index = own.tasks.back();  // LIFO keeps the owner's cache warm
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (unsigned step = 1; step < num_workers_; ++step) {
+    WorkerQueue& victim = *queues_[(id + step) % num_workers_];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *index = victim.tasks.front();  // FIFO: steal the oldest, coldest task
+      victim.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::WorkerLoop(unsigned id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      ++active_workers_;
+    }
+    // fn_ is cleared (under run_mu_) when its run drains, so a null latch
+    // means this worker slept through the entire run it was woken for; it
+    // must not touch remaining_, which may already belong to the NEXT run.
+    if (fn != nullptr) {
+      while (remaining_.load(std::memory_order_acquire) > 0) {
+        size_t index = 0;
+        if (!TryAcquire(id, &index)) {
+          // Every deque is empty, and tasks are only dealt before the run
+          // starts — nothing will ever become stealable again. Leave the
+          // in-flight owners to drive remaining_ to zero rather than
+          // burning a core spinning on it.
+          break;
+        }
+        (*fn)(index);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(run_mu_);
+          done_cv_.notify_all();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace frt

@@ -1,0 +1,96 @@
+// Work-stealing task executor for shard-granularity parallelism.
+//
+// ParallelFor (common/parallel.h) assigns index i to worker i % W up front,
+// so one heavy shard — or several colliding in the same stride class —
+// leaves every other worker idle while its owner straggles. The pool keeps
+// one deque per worker instead: indices are dealt round-robin, owners pop
+// their own deque LIFO, and a worker that runs dry steals FIFO from a
+// victim, so load follows the actual task durations rather than the initial
+// deal. Workers are persistent across Run() calls, which lets the streaming
+// runtime reuse one pool for every window instead of re-spawning threads.
+//
+// Determinism contract: the pool schedules *where* a task runs, never what
+// it computes. Callers that write results to pre-sized per-index slots and
+// pre-fork any RNG streams (as BatchRunner does) get bit-identical output
+// at every worker count.
+
+#ifndef FRT_RUNTIME_WORK_STEALING_POOL_H_
+#define FRT_RUNTIME_WORK_STEALING_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frt {
+
+/// \brief Persistent pool of worker threads executing index tasks with
+/// work stealing.
+class WorkStealingPool {
+ public:
+  /// Spawns the workers; 0 means hardware concurrency. A 1-worker pool
+  /// spawns no threads and runs every task inline on the caller.
+  explicit WorkStealingPool(unsigned num_threads = 0);
+
+  /// Joins all workers. Must not be called while a Run is in flight on
+  /// another thread.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// \brief Invokes fn(i) for every i in [0, n); returns once all
+  /// invocations have completed.
+  ///
+  /// `fn` must be safe to call concurrently for distinct indices and must
+  /// not throw. Runs must not be nested (fn must not call Run on the same
+  /// pool), and only one Run may be in flight at a time.
+  void Run(size_t n, const std::function<void(size_t)>& fn);
+
+  unsigned num_workers() const { return num_workers_; }
+
+  /// Total tasks obtained by stealing (vs. popped from the owner's deque)
+  /// since construction. Diagnostic only; racy reads are acceptable.
+  uint64_t steal_count() const { return steals_; }
+
+ private:
+  // One mutex-guarded deque per worker. Shard tasks are milliseconds-plus,
+  // so a tiny critical section per pop is noise; a lock-free Chase-Lev
+  // deque would buy nothing here.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<size_t> tasks;
+  };
+
+  void WorkerLoop(unsigned id);
+  bool TryAcquire(unsigned id, size_t* index);
+
+  unsigned num_workers_ = 1;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Run lifecycle: the caller publishes (fn_, remaining_, ++epoch_) under
+  // run_mu_, workers wake on work_cv_, and the caller sleeps on done_cv_
+  // until the run has drained AND every worker has left its steal loop —
+  // the second condition keeps a slow waker of run N from picking up run
+  // N+1's tasks with run N's stale fn pointer.
+  std::mutex run_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  unsigned active_workers_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  std::atomic<size_t> remaining_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace frt
+
+#endif  // FRT_RUNTIME_WORK_STEALING_POOL_H_

@@ -1,0 +1,156 @@
+#include "stream/stream_runner.h"
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/bounded_queue.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace frt {
+
+StreamRunner::StreamRunner(StreamRunnerConfig config)
+    : config_(std::move(config)) {
+  if (config_.window_size == 0) config_.window_size = 1;
+  if (config_.queue_capacity == 0) {
+    config_.queue_capacity = 2 * config_.window_size;
+  }
+}
+
+Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
+                                   Rng& rng, WorkStealingPool* pool) {
+  const size_t index = report_.windows_closed;
+  ++report_.windows_closed;
+  // Fork before the budget check so the RNG stream consumed per window is
+  // independent of how much budget happens to remain.
+  Rng window_rng = rng.Fork();
+  const double window_epsilon =
+      config_.batch.pipeline.epsilon_global + config_.batch.pipeline.epsilon_local;
+  if (accountant_.enforcing() &&
+      accountant_.remaining() + 1e-12 < window_epsilon) {
+    ++report_.windows_refused;
+    report_.trajectories_refused += window.size();
+    // The per-window cost is constant, so no later window can fit either.
+    exhausted_ = true;
+    FRT_LOG(Warning) << "privacy budget exhausted: refusing window #" << index
+                     << " (" << window.size() << " trajectories); spent "
+                     << accountant_.spent() << " of "
+                     << accountant_.total_budget() << ", next window needs "
+                     << window_epsilon;
+    return Status::OK();
+  }
+
+  BatchRunnerConfig batch_config = config_.batch;
+  batch_config.pool = pool;
+  BatchRunner runner(batch_config);
+  FRT_ASSIGN_OR_RETURN(Dataset published, runner.Anonymize(window, window_rng));
+
+  WindowReport window_report;
+  window_report.index = index;
+  window_report.trajectories = published.size();
+  window_report.epsilon_spent = runner.report().epsilon_spent;
+  window_report.batch = runner.report();
+  if (window_report.epsilon_spent > 0.0) {
+    FRT_RETURN_IF_ERROR(accountant_.Spend(
+        window_report.epsilon_spent,
+        "window " + std::to_string(index) + " (sequential composition)"));
+  }
+  window_report.epsilon_total = accountant_.spent();
+  report_.epsilon_spent = accountant_.spent();
+  // The budget above is spent either way, but the window only counts as
+  // published once the sink accepted it.
+  FRT_RETURN_IF_ERROR(sink(published, window_report));
+  ++report_.windows_published;
+  report_.trajectories_published += published.size();
+  report_.windows.push_back(std::move(window_report));
+  if (config_.max_window_reports > 0 &&
+      report_.windows.size() > config_.max_window_reports) {
+    report_.windows.erase(report_.windows.begin());
+  }
+  return Status::OK();
+}
+
+Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
+                         Rng& rng) {
+  report_ = StreamReport{};
+  exhausted_ = false;
+  accountant_ = config_.total_budget > 0.0
+                    ? PrivacyAccountant(config_.total_budget)
+                    : PrivacyAccountant();
+  accountant_.set_max_ledger_entries(config_.max_window_reports);
+  Stopwatch wall;
+
+  // One pool for the whole stream; every window's BatchRunner borrows it,
+  // so worker threads are spawned once, not per window. Under kStatic
+  // dispatch BatchRunner bypasses the pool entirely (ParallelFor spawns
+  // and joins threads per window — the A/B baseline's cost model), so no
+  // pool is constructed in that mode.
+  std::unique_ptr<WorkStealingPool> pool;
+  if (config_.batch.dispatch == ShardDispatch::kWorkStealing &&
+      config_.batch.shards > 1) {
+    pool = std::make_unique<WorkStealingPool>(config_.batch.threads);
+  }
+
+  BoundedQueue<Trajectory> queue(config_.queue_capacity);
+  // Written by the producer only; read by this thread after join().
+  Status ingest_status = Status::OK();
+  std::thread producer([&] {
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) {
+        ingest_status = next.status();
+        break;
+      }
+      if (!next->has_value()) break;
+      // Push fails only when the consumer closed the queue early (abort).
+      if (!queue.Push(std::move(**next))) break;
+    }
+    queue.Close();
+  });
+
+  Status run_status = Status::OK();
+  Dataset window;
+  bool stopped_early = false;
+  while (true) {
+    std::optional<Trajectory> t = queue.Pop();
+    if (!t.has_value()) break;
+    ++report_.trajectories_in;
+    if (Status st = window.Add(std::move(*t)); !st.ok()) {
+      // Duplicate id inside one window: the window's parallel-composition
+      // argument needs each object in exactly one shard.
+      run_status = Status::InvalidArgument(
+          "window " + std::to_string(report_.windows_closed) + ": " +
+          st.message() + " (each object may appear once per window)");
+      break;
+    }
+    if (window.size() >= config_.window_size) {
+      if (Status st = ProcessWindow(std::move(window), sink, rng, pool.get());
+          !st.ok()) {
+        run_status = st;
+        break;
+      }
+      window = Dataset();
+      if (exhausted_ && config_.stop_when_exhausted) {
+        stopped_early = true;
+        break;
+      }
+    }
+  }
+  // Reap the producer BEFORE deciding about the trailing partial window: a
+  // parse error mid-stream must fail the run without publishing (or
+  // spending budget on) trajectories read ahead of the bad line. Close()
+  // unblocks a producer stuck in Push(); one inside a blocking stream read
+  // returns at the feed's next record or end of stream (see Run's doc
+  // comment — blocking istream reads are not interruptible).
+  queue.Close();
+  producer.join();
+  if (run_status.ok()) run_status = ingest_status;
+  if (run_status.ok() && !stopped_early && !window.empty()) {
+    run_status = ProcessWindow(std::move(window), sink, rng, pool.get());
+  }
+  report_.wall_seconds = wall.ElapsedSeconds();
+  return run_status;
+}
+
+}  // namespace frt

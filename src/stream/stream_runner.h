@@ -1,0 +1,141 @@
+// StreamRunner: long-running windowed anonymization service.
+//
+// Pipeline: an ingest thread pulls trajectories from a TrajectoryReader and
+// pushes them through a BoundedQueue (backpressure caps in-flight memory);
+// the caller's thread closes tumbling windows of `window_size` trajectories
+// and anonymizes each window with BatchRunner, sharing one WorkStealingPool
+// across every window so no threads are re-spawned. Each published window
+// is handed to a sink callback immediately, so output is emitted
+// incrementally instead of after the whole stream.
+//
+// Privacy accounting (the part that differs from batch): within one window
+// every moving object appears in exactly one shard, so the window costs
+// eps_G + eps_L by parallel composition. Across windows the same object-id
+// space may reappear (the stream is a feed, not a partition), so windows
+// compose SEQUENTIALLY: the cross-window ledger sums the per-window spends
+// against `total_budget` and, once the next window no longer fits, refuses
+// it — refused windows are counted and dropped, never published with a
+// weaker guarantee.
+
+#ifndef FRT_STREAM_STREAM_RUNNER_H_
+#define FRT_STREAM_STREAM_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/accountant.h"
+#include "runtime/batch_runner.h"
+#include "stream/ingest.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// Configuration of the streaming service.
+struct StreamRunnerConfig {
+  /// Per-window execution: pipeline budgets, shard count, threads,
+  /// dispatch. `batch.pool` is managed by the runner and ignored here.
+  BatchRunnerConfig batch;
+  /// Trajectories per tumbling window. The final window may be smaller.
+  size_t window_size = 1000;
+  /// Cross-window epsilon budget (sequential composition). 0 disables
+  /// enforcement: the ledger still tracks, but no window is ever refused.
+  double total_budget = 0.0;
+  /// Capacity of the ingest queue, in trajectories; 0 means 2x window_size.
+  size_t queue_capacity = 0;
+  /// Most recent per-window reports (and accountant ledger entries)
+  /// retained; aggregate counters stay exact. Bounds the runner's memory
+  /// on unbounded feeds. 0 keeps every window's report.
+  size_t max_window_reports = 64;
+  /// End the run at the first refused window instead of draining (and
+  /// counting) the rest of the feed. The per-window cost is constant, so
+  /// the first refusal proves no later window can ever fit; on an
+  /// unbounded feed this is the only way the run terminates once the
+  /// budget is spent. Off by default: finite batch feeds usually want the
+  /// refused-trajectory tally.
+  bool stop_when_exhausted = false;
+};
+
+/// Diagnostics of one published window.
+struct WindowReport {
+  /// 0-based index in arrival order (refused windows keep their index).
+  size_t index = 0;
+  size_t trajectories = 0;
+  /// Epsilon this window consumed from the cross-window ledger.
+  double epsilon_spent = 0.0;
+  /// Cumulative ledger total after this window.
+  double epsilon_total = 0.0;
+  /// Batch diagnostics (shard skew, edits, wall time) of this window.
+  BatchReport batch;
+};
+
+/// Aggregated diagnostics of one streaming run.
+struct StreamReport {
+  size_t windows_closed = 0;     ///< assembled from the input
+  size_t windows_published = 0;  ///< anonymized and emitted
+  size_t windows_refused = 0;    ///< dropped: budget exhausted
+  size_t trajectories_in = 0;
+  size_t trajectories_published = 0;
+  size_t trajectories_refused = 0;
+  /// Ledger total across published windows (sequential composition).
+  double epsilon_spent = 0.0;
+  /// End-to-end wall time, ingest included.
+  double wall_seconds = 0.0;
+  /// Per-published-window diagnostics, in window order; bounded to the
+  /// most recent `max_window_reports` when that is non-zero.
+  std::vector<WindowReport> windows;
+};
+
+/// Receives each published window right after anonymization. A non-OK
+/// return aborts the run. The Dataset holds only this window's
+/// trajectories; ids repeat across windows when objects reappear.
+using WindowSink =
+    std::function<Status(const Dataset& published, const WindowReport&)>;
+
+/// \brief Drives reader -> windows -> BatchRunner -> sink until the stream
+/// ends or the run fails.
+class StreamRunner {
+ public:
+  explicit StreamRunner(StreamRunnerConfig config);
+
+  /// \brief Consumes the whole stream. Deterministic given `rng`'s state,
+  /// the window size, and the shard count — each window anonymizes on its
+  /// own fork of `rng`, in arrival order.
+  ///
+  /// Returns non-OK on ingest parse errors, duplicate ids within one
+  /// window, pipeline failures, or sink failures. Budget exhaustion is NOT
+  /// an error: remaining windows are counted as refused (with a logged
+  /// diagnostic) and the run completes — or, with stop_when_exhausted,
+  /// the run ends at the first refusal.
+  ///
+  /// Caveat for live feeds: the ingest thread uses blocking istream
+  /// reads, which cannot be interrupted. If the run ends early (error or
+  /// stop_when_exhausted) while the feed is silent, Run blocks until the
+  /// feed's next record or end of stream before returning.
+  Status Run(TrajectoryReader& reader, const WindowSink& sink, Rng& rng);
+
+  /// Diagnostics of the most recent Run call.
+  const StreamReport& report() const { return report_; }
+
+  /// Cross-window privacy ledger of the most recent Run call.
+  const PrivacyAccountant& accountant() const { return accountant_; }
+
+  const StreamRunnerConfig& config() const { return config_; }
+
+ private:
+  Status ProcessWindow(Dataset&& window, const WindowSink& sink, Rng& rng,
+                       WorkStealingPool* pool);
+
+  StreamRunnerConfig config_;
+  StreamReport report_;
+  PrivacyAccountant accountant_;
+  /// Latched by the first refused window (per-window cost is constant, so
+  /// exhaustion is permanent for the rest of the run).
+  bool exhausted_ = false;
+};
+
+}  // namespace frt
+
+#endif  // FRT_STREAM_STREAM_RUNNER_H_

@@ -3,16 +3,45 @@
 // Format: one CSV line per GPS sample, `traj_id,x,y,t`, sorted by
 // (traj_id, position). Lines starting with '#' are comments. This mirrors
 // the flat layout of public taxi datasets (T-Drive et al.) after projection.
+//
+// The line-level parser (ParseCsvRecord) is shared with the streaming
+// ingest path (stream/ingest.h), which assembles trajectories incrementally
+// from chunked reads; LoadDatasetCsv is the one-shot convenience built on
+// the same machinery.
 
 #ifndef FRT_TRAJ_IO_H_
 #define FRT_TRAJ_IO_H_
 
+#include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "traj/dataset.h"
 
 namespace frt {
+
+/// One parsed CSV sample line.
+struct CsvRecord {
+  TrajId id = -1;
+  Point p;
+  int64_t t = 0;
+};
+
+/// \brief Parses one line of the dataset format.
+///
+/// Returns nullopt for blank and comment lines; an error Status names
+/// `lineno` for malformed lines.
+Result<std::optional<CsvRecord>> ParseCsvRecord(std::string_view line,
+                                                size_t lineno);
+
+/// Writes one trajectory as sample lines (no header). The single source of
+/// the record format for both batch and streaming serialization.
+void WriteTrajectoryCsv(const Trajectory& trajectory, std::ostream& out);
+
+/// Writes `dataset` in CSV form (header comment + one line per sample).
+Status WriteDatasetCsv(const Dataset& dataset, std::ostream& out);
 
 /// Writes `dataset` to `path` in CSV form. Overwrites existing files.
 Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);

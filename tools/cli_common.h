@@ -1,0 +1,144 @@
+// Helpers shared by the FRT command-line tools: the pipeline flags common
+// to every anonymizing CLI are parsed, validated, and documented here once,
+// so the tools cannot drift apart as flags are added.
+
+#ifndef FRT_TOOLS_CLI_COMMON_H_
+#define FRT_TOOLS_CLI_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace frt::cli {
+
+/// Maps the --strategy flag spelling to a SearchStrategy. The single
+/// source of the ladder: every tool that grows a strategy flag uses this,
+/// so a new strategy becomes selectable everywhere at once.
+inline bool ParseStrategy(const std::string& s, SearchStrategy* out) {
+  if (s == "hg+") {
+    *out = SearchStrategy::kBottomUpDown;
+  } else if (s == "hgt") {
+    *out = SearchStrategy::kTopDown;
+  } else if (s == "hgb") {
+    *out = SearchStrategy::kBottomUp;
+  } else if (s == "ug") {
+    *out = SearchStrategy::kUniformGrid;
+  } else if (s == "linear") {
+    *out = SearchStrategy::kLinear;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Raw values of the flags shared by all anonymizing tools.
+struct PipelineArgs {
+  double epsilon_global = 0.5;
+  double epsilon_local = 0.5;
+  int m = 10;
+  std::string strategy = "hg+";
+  std::string order = "global";
+  uint64_t seed = 42;
+  int shards = 1;
+  unsigned threads = 0;
+};
+
+/// Outcome of offering one argv slot to the shared parser.
+enum class FlagParse {
+  kConsumed,  ///< it was a shared flag; *i advanced past its value
+  kNotMine,   ///< not a shared flag; the tool should try its own flags
+  kError,     ///< a shared flag with a missing/invalid value (reported)
+};
+
+/// \brief Tries to consume argv[*i] as one of the shared pipeline flags.
+inline FlagParse ParsePipelineFlag(int argc, char** argv, int* i,
+                                   PipelineArgs* args) {
+  const char* flag = argv[*i];
+  auto next = [&]() -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  const char* v = nullptr;
+  if (std::strcmp(flag, "--epsilon-global") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->epsilon_global = std::atof(v);
+  } else if (std::strcmp(flag, "--epsilon-local") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->epsilon_local = std::atof(v);
+  } else if (std::strcmp(flag, "--m") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->m = std::atoi(v);
+  } else if (std::strcmp(flag, "--strategy") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->strategy = v;
+  } else if (std::strcmp(flag, "--order") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->order = v;
+  } else if (std::strcmp(flag, "--seed") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->seed = std::strtoull(v, nullptr, 10);
+  } else if (std::strcmp(flag, "--shards") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->shards = std::atoi(v);
+    if (args->shards < 1) {
+      std::fprintf(stderr, "--shards must be >= 1\n");
+      return FlagParse::kError;
+    }
+  } else if (std::strcmp(flag, "--threads") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+  } else {
+    return FlagParse::kNotMine;
+  }
+  return FlagParse::kConsumed;
+}
+
+/// \brief Validates the shared flags and fills a pipeline config.
+/// Reports to stderr and returns false on invalid combinations.
+inline bool MakePipelineConfig(const PipelineArgs& args,
+                               FrequencyRandomizerConfig* config) {
+  config->m = args.m;
+  config->epsilon_global = args.epsilon_global;
+  config->epsilon_local = args.epsilon_local;
+  config->order = args.order == "local" ? MechanismOrder::kLocalFirst
+                                        : MechanismOrder::kGlobalFirst;
+  if (!ParseStrategy(args.strategy, &config->strategy)) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", args.strategy.c_str());
+    return false;
+  }
+  if (config->epsilon_global <= 0.0 && config->epsilon_local <= 0.0) {
+    std::fprintf(stderr, "at least one epsilon must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+/// Usage text of the shared flags (embed in each tool's Usage()).
+inline const char* PipelineUsageText() {
+  return
+      "  --epsilon-global X   budget of the global TF mechanism (default "
+      "0.5; 0 disables)\n"
+      "  --epsilon-local X    budget of the local PF mechanism (default "
+      "0.5; 0 disables)\n"
+      "  --m N                signature size (default 10)\n"
+      "  --strategy S         kNN strategy: hg+ hgt hgb ug linear "
+      "(default hg+)\n"
+      "  --order O            mechanism order: global | local first "
+      "(default global)\n"
+      "  --seed N             RNG seed (default 42)\n"
+      "  --shards K           dataset partitions anonymized independently "
+      "(default 1)\n"
+      "  --threads N          worker threads; 0 = hardware concurrency "
+      "(default 0)\n";
+}
+
+}  // namespace frt::cli
+
+#endif  // FRT_TOOLS_CLI_COMMON_H_

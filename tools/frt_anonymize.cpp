@@ -3,9 +3,11 @@
 // Reads a CSV trajectory dataset (traj_id,x,y,t per line; see traj/io.h),
 // applies the paper's frequency-based randomization, and writes the
 // published dataset. The variant is selected by the budget flags: set one
-// of them to 0 for PureG / PureL, both positive for GL.
+// of them to 0 for PureG / PureL, both positive for GL. `--input -` reads
+// the dataset from stdin via the incremental reader, so the tool can sit
+// at the end of a shell pipeline.
 //
-//   frt_anonymize --input raw.csv --output published.csv
+//   frt_anonymize --input raw.csv|- --output published.csv
 //       [--epsilon-global 0.5] [--epsilon-local 0.5] [--m 10]
 //       [--strategy hg+|hgt|hgb|ug|linear] [--order global|local]
 //       [--seed 42] [--shards 1] [--threads 0]
@@ -17,48 +19,39 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
+#include "cli_common.h"
 #include "frt.h"
+#include "stream/ingest.h"
 
 namespace {
 
 struct Args {
   std::string input;
   std::string output;
-  double epsilon_global = 0.5;
-  double epsilon_local = 0.5;
-  int m = 10;
-  std::string strategy = "hg+";
-  std::string order = "global";
-  uint64_t seed = 42;
-  int shards = 1;
-  unsigned threads = 0;
+  frt::cli::PipelineArgs pipeline;
 };
 
 void Usage(const char* prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s --input FILE --output FILE [options]\n"
-      "  --epsilon-global X   budget of the global TF mechanism (default "
-      "0.5; 0 disables)\n"
-      "  --epsilon-local X    budget of the local PF mechanism (default "
-      "0.5; 0 disables)\n"
-      "  --m N                signature size (default 10)\n"
-      "  --strategy S         kNN strategy: hg+ hgt hgb ug linear "
-      "(default hg+)\n"
-      "  --order O            mechanism order: global | local first "
-      "(default global)\n"
-      "  --seed N             RNG seed (default 42)\n"
-      "  --shards K           dataset partitions anonymized independently "
-      "(default 1)\n"
-      "  --threads N          worker threads for shard execution; 0 = "
-      "hardware concurrency (default 0)\n",
-      prog);
+  std::fprintf(stderr,
+               "usage: %s --input FILE|- --output FILE [options]\n"
+               "  --input -            read the dataset from stdin\n"
+               "%s",
+               prog, frt::cli::PipelineUsageText());
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
+    switch (frt::cli::ParsePipelineFlag(argc, argv, &i, &args->pipeline)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag);
@@ -74,42 +67,6 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--output");
       if (v == nullptr) return false;
       args->output = v;
-    } else if (std::strcmp(argv[i], "--epsilon-global") == 0) {
-      const char* v = next("--epsilon-global");
-      if (v == nullptr) return false;
-      args->epsilon_global = std::atof(v);
-    } else if (std::strcmp(argv[i], "--epsilon-local") == 0) {
-      const char* v = next("--epsilon-local");
-      if (v == nullptr) return false;
-      args->epsilon_local = std::atof(v);
-    } else if (std::strcmp(argv[i], "--m") == 0) {
-      const char* v = next("--m");
-      if (v == nullptr) return false;
-      args->m = std::atoi(v);
-    } else if (std::strcmp(argv[i], "--strategy") == 0) {
-      const char* v = next("--strategy");
-      if (v == nullptr) return false;
-      args->strategy = v;
-    } else if (std::strcmp(argv[i], "--order") == 0) {
-      const char* v = next("--order");
-      if (v == nullptr) return false;
-      args->order = v;
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      const char* v = next("--seed");
-      if (v == nullptr) return false;
-      args->seed = std::strtoull(v, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--shards") == 0) {
-      const char* v = next("--shards");
-      if (v == nullptr) return false;
-      args->shards = std::atoi(v);
-      if (args->shards < 1) {
-        std::fprintf(stderr, "--shards must be >= 1\n");
-        return false;
-      }
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      const char* v = next("--threads");
-      if (v == nullptr) return false;
-      args->threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -122,48 +79,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-bool ParseStrategy(const std::string& s, frt::SearchStrategy* out) {
-  if (s == "hg+") {
-    *out = frt::SearchStrategy::kBottomUpDown;
-  } else if (s == "hgt") {
-    *out = frt::SearchStrategy::kTopDown;
-  } else if (s == "hgb") {
-    *out = frt::SearchStrategy::kBottomUp;
-  } else if (s == "ug") {
-    *out = frt::SearchStrategy::kUniformGrid;
-  } else if (s == "linear") {
-    *out = frt::SearchStrategy::kLinear;
-  } else {
-    return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Unsynced iostreams: with C-stdio sync on, cin's streambuf never
+  // buffers, which degrades the incremental reader to byte-sized refills.
+  std::ios::sync_with_stdio(false);
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
     Usage(argv[0]);
     return 2;
   }
   frt::FrequencyRandomizerConfig config;
-  config.m = args.m;
-  config.epsilon_global = args.epsilon_global;
-  config.epsilon_local = args.epsilon_local;
-  config.order = args.order == "local" ? frt::MechanismOrder::kLocalFirst
-                                       : frt::MechanismOrder::kGlobalFirst;
-  if (!ParseStrategy(args.strategy, &config.strategy)) {
-    std::fprintf(stderr, "unknown strategy '%s'\n", args.strategy.c_str());
+  if (!frt::cli::MakePipelineConfig(args.pipeline, &config)) {
     Usage(argv[0]);
     return 2;
   }
-  if (config.epsilon_global <= 0.0 && config.epsilon_local <= 0.0) {
-    std::fprintf(stderr, "at least one epsilon must be positive\n");
-    return 2;
-  }
 
-  auto dataset = frt::LoadDatasetCsv(args.input);
+  auto dataset = args.input == "-"
+                     ? frt::ReadDatasetFromStream(std::cin)
+                     : frt::LoadDatasetCsv(args.input);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load: %s\n",
                  dataset.status().ToString().c_str());
@@ -172,29 +107,37 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "loaded %zu trajectories, %zu points\n",
                dataset->size(), dataset->TotalPoints());
 
-  frt::Rng rng(args.seed);
+  frt::Rng rng(args.pipeline.seed);
   frt::Stopwatch watch;
   frt::Result<frt::Dataset> published =
       frt::Status::Internal("not executed");
   std::string method_name;
   frt::RandomizerReport report;
-  if (args.shards > 1) {
+  if (args.pipeline.shards > 1) {
     frt::BatchRunnerConfig batch_config;
     batch_config.pipeline = config;
-    batch_config.shards = args.shards;
-    batch_config.threads = args.threads;
+    batch_config.shards = args.pipeline.shards;
+    batch_config.threads = args.pipeline.threads;
     frt::BatchRunner runner(batch_config);
     method_name = runner.name();
     published = runner.Anonymize(*dataset, rng);
     if (published.ok()) {
       report = runner.report().combined;
+      const frt::BatchReport& batch = runner.report();
       std::fprintf(stderr, "batch: %d shards, eps=%.2f via parallel "
                    "composition\n",
-                   runner.report().shards_run,
-                   runner.report().epsilon_spent);
+                   batch.shards_run, batch.epsilon_spent);
+      std::fprintf(stderr,
+                   "shard skew: wall min/mean/max %.3f/%.3f/%.3f s "
+                   "(max/mean %.2fx)\n",
+                   batch.shard_wall_min, batch.shard_wall_mean,
+                   batch.shard_wall_max,
+                   batch.shard_wall_mean > 0.0
+                       ? batch.shard_wall_max / batch.shard_wall_mean
+                       : 0.0);
     }
   } else {
-    if (args.threads != 0) {
+    if (args.pipeline.threads != 0) {
       std::fprintf(stderr,
                    "note: --threads has no effect without --shards > 1\n");
     }
