@@ -1,0 +1,217 @@
+// Per-object privacy accounting for streaming publication.
+//
+// The paper's guarantee (Theorem 1) is per moving object: the GL pipeline
+// is (eps_G + eps_L)-DP with respect to datasets differing in ONE object's
+// trajectory. When the same object reappears across stream windows its
+// releases compose sequentially, but objects that never co-occur do not
+// add up — so the end-to-end guarantee of a windowed stream is
+//
+//   max over objects o of  sum over windows containing o of eps_window,
+//
+// not the sum over all windows. PrivacyAccountant (the PR 2 wholesale
+// ledger) charges the latter, which is sound but pessimistic: a feed of
+// ever-fresh objects is refused after budget/(eps_G+eps_L) windows even
+// though no single object ever spent more than one window's epsilon.
+// ObjectBudgetAccountant charges the former: a hash-keyed ledger per
+// object-id, a window admitted iff the *maximum-spent* id in it can still
+// afford the window's epsilon.
+//
+// Bounded retention: on an unbounded id space the map cannot grow forever.
+// When the tracked-id cap is exceeded, the ids with the LOWEST spend are
+// evicted and their spend is folded into a conservative floor: any id not
+// found in the map is assumed to have already spent `evicted_floor()`
+// (the maximum spend ever evicted). Unknown ids are thus over-charged,
+// never under-charged, so enforcement stays sound — only utility (windows
+// admitted) degrades, and only once the cap is actually hit. Aggregate
+// counters (max spent over all objects, total window admissions, spend
+// events) are maintained exactly regardless of eviction.
+//
+// Like PrivacyAccountant, this class is not thread-safe; the streaming
+// runner drives it from the single window-closing thread. "Atomic" below
+// means transactional: a SpendWindow either records every id's spend or
+// records nothing.
+
+#ifndef FRT_DP_OBJECT_ACCOUNTANT_H_
+#define FRT_DP_OBJECT_ACCOUNTANT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/trajectory.h"
+
+namespace frt {
+
+/// \brief Hash-keyed per-object sequential ledgers with an exact aggregate.
+class ObjectBudgetAccountant {
+ public:
+  /// Unbounded accountant (tracks but never rejects).
+  ObjectBudgetAccountant() = default;
+
+  /// Accountant enforcing a hard per-object budget.
+  explicit ObjectBudgetAccountant(double per_object_budget)
+      : per_object_budget_(per_object_budget), enforce_(true) {}
+
+  /// One object's sequential ledger: cumulative epsilon and release count.
+  struct ObjectLedger {
+    double spent = 0.0;
+    uint32_t windows = 0;
+  };
+
+  /// \brief Atomically admits or refuses a whole window.
+  ///
+  /// Admission is decided by the maximum-spent id among `ids` (unknown ids
+  /// are charged the eviction floor): if that id can still afford
+  /// `epsilon`, every id's ledger is charged; otherwise nothing is
+  /// recorded and FailedPrecondition is returned. `ids` must not contain
+  /// duplicates (one trajectory per object per window — the same contract
+  /// the window's parallel-composition argument needs).
+  Status SpendWindow(const std::vector<TrajId>& ids, double epsilon) {
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon spend must be positive");
+    }
+    if (enforce_) {
+      double worst = 0.0;
+      TrajId worst_id = 0;
+      for (const TrajId id : ids) {
+        const double s = spent(id);
+        if (s > worst) {
+          worst = s;
+          worst_id = id;
+        }
+      }
+      if (worst + epsilon > per_object_budget_ + kTolerance) {
+        return Status::FailedPrecondition(
+            "per-object budget exhausted: object " +
+            std::to_string(worst_id) + " spent " + std::to_string(worst) +
+            " + requested " + std::to_string(epsilon) + " > budget " +
+            std::to_string(per_object_budget_));
+      }
+    }
+    for (const TrajId id : ids) Charge(id, epsilon);
+    ++windows_admitted_;
+    aggregate_epsilon_ += epsilon * static_cast<double>(ids.size());
+    MaybeEvict();
+    return Status::OK();
+  }
+
+  /// \brief Splits `ids` into those that can still afford `epsilon` and
+  /// those that cannot (per-object refusal: the caller evicts the
+  /// exhausted objects from the window instead of dropping the window).
+  /// Records nothing. Non-enforcing accountants admit everything.
+  void FilterAdmissible(const std::vector<TrajId>& ids, double epsilon,
+                        std::vector<TrajId>* admissible,
+                        std::vector<TrajId>* exhausted) const {
+    for (const TrajId id : ids) {
+      const bool fits =
+          !enforce_ || spent(id) + epsilon <= per_object_budget_ + kTolerance;
+      (fits ? admissible : exhausted)->push_back(id);
+    }
+  }
+
+  /// Cumulative epsilon charged to `id`; evicted/unseen ids report the
+  /// conservative eviction floor.
+  double spent(TrajId id) const {
+    auto it = ledgers_.find(id);
+    return it != ledgers_.end() ? it->second.spent : evicted_floor_;
+  }
+
+  /// Remaining budget of `id`; +inf when not enforcing.
+  double remaining(TrajId id) const {
+    return enforce_ ? per_object_budget_ - spent(id)
+                    : std::numeric_limits<double>::infinity();
+  }
+
+  /// \brief Caps the per-object ledgers retained in memory. When exceeded,
+  /// the lowest-spend ids are evicted into the conservative floor. 0
+  /// (default) tracks every id exactly.
+  void set_max_tracked_objects(size_t n) {
+    max_tracked_objects_ = n;
+    MaybeEvict();
+  }
+
+  bool enforcing() const { return enforce_; }
+  double per_object_budget() const { return per_object_budget_; }
+
+  /// Exact maximum cumulative spend over ALL objects ever charged — the
+  /// stream's end-to-end guarantee. Monotone, unaffected by eviction.
+  double max_spent() const { return max_spent_; }
+
+  /// Exact count of windows admitted (SpendWindow transactions recorded).
+  size_t windows_admitted() const { return windows_admitted_; }
+
+  /// Exact sum over admitted windows of epsilon * |ids| — the total
+  /// object-release volume, unaffected by eviction.
+  double aggregate_epsilon() const { return aggregate_epsilon_; }
+
+  /// Ids currently tracked exactly (<= max_tracked_objects when bounded).
+  size_t tracked_objects() const { return ledgers_.size(); }
+
+  /// Ids folded into the floor so far.
+  size_t evicted_objects() const { return evicted_objects_; }
+
+  /// Spend assumed for any id not in the map (max spend ever evicted).
+  double evicted_floor() const { return evicted_floor_; }
+
+  const std::unordered_map<TrajId, ObjectLedger>& ledgers() const {
+    return ledgers_;
+  }
+
+ private:
+  // Matches PrivacyAccountant's enforcement slack so the wholesale and
+  // per-object modes agree on exact-budget boundary cases.
+  static constexpr double kTolerance = 1e-12;
+
+  void Charge(TrajId id, double epsilon) {
+    ObjectLedger& ledger = ledgers_[id];  // starts at the floor if unseen
+    if (ledger.windows == 0 && ledger.spent == 0.0) {
+      ledger.spent = evicted_floor_;
+    }
+    ledger.spent += epsilon;
+    ++ledger.windows;
+    max_spent_ = std::max(max_spent_, ledger.spent);
+  }
+
+  // Evicts the lowest spenders down to the cap: their spends are the
+  // cheapest to fold into the floor (the floor only ever rises to the
+  // largest evicted spend), so heavy spenders keep exact ledgers and the
+  // conservative over-charge on returning evictees stays minimal.
+  void MaybeEvict() {
+    if (max_tracked_objects_ == 0 ||
+        ledgers_.size() <= max_tracked_objects_) {
+      return;
+    }
+    std::vector<std::pair<double, TrajId>> by_spend;
+    by_spend.reserve(ledgers_.size());
+    for (const auto& [id, ledger] : ledgers_) {
+      by_spend.push_back({ledger.spent, id});
+    }
+    const size_t excess = ledgers_.size() - max_tracked_objects_;
+    std::nth_element(by_spend.begin(), by_spend.begin() + excess - 1,
+                     by_spend.end());
+    for (size_t i = 0; i < excess; ++i) {
+      evicted_floor_ = std::max(evicted_floor_, by_spend[i].first);
+      ledgers_.erase(by_spend[i].second);
+      ++evicted_objects_;
+    }
+  }
+
+  double per_object_budget_ = 0.0;
+  bool enforce_ = false;
+  size_t max_tracked_objects_ = 0;
+  std::unordered_map<TrajId, ObjectLedger> ledgers_;
+  double evicted_floor_ = 0.0;
+  size_t evicted_objects_ = 0;
+  double max_spent_ = 0.0;
+  size_t windows_admitted_ = 0;
+  double aggregate_epsilon_ = 0.0;
+};
+
+}  // namespace frt
+
+#endif  // FRT_DP_OBJECT_ACCOUNTANT_H_

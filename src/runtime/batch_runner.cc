@@ -33,8 +33,11 @@ Result<Dataset> BatchRunner::Anonymize(const Dataset& input, Rng& rng) {
   for (size_t i = 0; i < k; ++i) streams.push_back(rng.Fork());
 
   std::vector<Dataset> shard_inputs(k);
+  report_.shard_object_ids.resize(k);
   for (size_t i = 0; i < k; ++i) {
+    report_.shard_object_ids[i].reserve(plan[i].size());
     for (size_t j = plan[i].begin; j < plan[i].end; ++j) {
+      report_.shard_object_ids[i].push_back(input[j].id());
       FRT_RETURN_IF_ERROR(shard_inputs[i].Add(input[j]));
     }
   }

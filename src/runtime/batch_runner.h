@@ -72,6 +72,12 @@ struct BatchReport {
   RandomizerReport combined;
   /// Raw per-shard reports, in shard order.
   std::vector<RandomizerReport> per_shard;
+  /// Object-ids anonymized by each shard, in shard order. Every object in
+  /// the input appears in exactly one shard (the parallel-composition
+  /// argument), and shard i's release cost its objects
+  /// per_shard[i].epsilon_spent. The streaming runtime's per-object
+  /// accountant consumes this to charge exactly the ids a window released.
+  std::vector<std::vector<TrajId>> shard_object_ids;
   /// Wall seconds of each shard's pipeline run, in shard order — the skew
   /// profile that motivates work stealing.
   std::vector<double> shard_wall_seconds;

@@ -1,7 +1,9 @@
 #include "stream/stream_runner.h"
 
+#include <deque>
 #include <memory>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "common/bounded_queue.h"
@@ -13,9 +15,72 @@ namespace frt {
 StreamRunner::StreamRunner(StreamRunnerConfig config)
     : config_(std::move(config)) {
   if (config_.window_size == 0) config_.window_size = 1;
+  if (config_.window_stride == 0 ||
+      config_.window_stride > config_.window_size) {
+    config_.window_stride = config_.window_size;
+  }
   if (config_.queue_capacity == 0) {
     config_.queue_capacity = 2 * config_.window_size;
   }
+}
+
+bool StreamRunner::AdmitWholesale(const Dataset& window, size_t index,
+                                  double window_epsilon) {
+  if (!accountant_.enforcing() ||
+      accountant_.remaining() + 1e-12 >= window_epsilon) {
+    return true;
+  }
+  ++report_.windows_refused;
+  report_.trajectories_refused += window.size();
+  // The per-window cost is constant, so no later window can fit either.
+  refused_ = true;
+  FRT_LOG(Warning) << "privacy budget exhausted: refusing window #" << index
+                   << " (" << window.size() << " trajectories); spent "
+                   << accountant_.spent() << " of "
+                   << accountant_.total_budget() << ", next window needs "
+                   << window_epsilon;
+  return false;
+}
+
+bool StreamRunner::AdmitPerObject(Dataset* window, size_t index,
+                                  double window_epsilon, size_t* evicted) {
+  if (!object_accountant_.enforcing()) return true;
+  std::vector<TrajId> ids;
+  ids.reserve(window->size());
+  for (const auto& t : window->trajectories()) ids.push_back(t.id());
+  std::vector<TrajId> admissible, exhausted;
+  object_accountant_.FilterAdmissible(ids, window_epsilon, &admissible,
+                                      &exhausted);
+  if (exhausted.empty()) return true;
+  if (!config_.evict_exhausted || admissible.empty()) {
+    ++report_.windows_refused;
+    report_.trajectories_refused += window->size();
+    refused_ = true;
+    FRT_LOG(Warning) << "per-object budget exhausted: refusing window #"
+                     << index << " (" << window->size() << " trajectories, "
+                     << exhausted.size() << " exhausted object(s); object "
+                     << exhausted.front() << " spent "
+                     << object_accountant_.spent(exhausted.front()) << " of "
+                     << object_accountant_.per_object_budget()
+                     << ", next window needs " << window_epsilon << ")";
+    return false;
+  }
+  std::unordered_set<TrajId> drop(exhausted.begin(), exhausted.end());
+  std::vector<Trajectory> kept;
+  kept.reserve(admissible.size());
+  for (auto& t : window->mutable_trajectories()) {
+    if (drop.count(t.id()) == 0) kept.push_back(std::move(t));
+  }
+  *window = Dataset(std::move(kept));
+  *evicted = exhausted.size();
+  report_.trajectories_evicted += exhausted.size();
+  FRT_LOG(Warning) << "per-object budget: evicting " << exhausted.size()
+                   << " exhausted object(s) from window #" << index << " ("
+                   << window->size() << " remain; object "
+                   << exhausted.front() << " spent "
+                   << object_accountant_.spent(exhausted.front()) << " of "
+                   << object_accountant_.per_object_budget() << ")";
+  return true;
 }
 
 Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
@@ -25,21 +90,14 @@ Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
   // Fork before the budget check so the RNG stream consumed per window is
   // independent of how much budget happens to remain.
   Rng window_rng = rng.Fork();
-  const double window_epsilon =
-      config_.batch.pipeline.epsilon_global + config_.batch.pipeline.epsilon_local;
-  if (accountant_.enforcing() &&
-      accountant_.remaining() + 1e-12 < window_epsilon) {
-    ++report_.windows_refused;
-    report_.trajectories_refused += window.size();
-    // The per-window cost is constant, so no later window can fit either.
-    exhausted_ = true;
-    FRT_LOG(Warning) << "privacy budget exhausted: refusing window #" << index
-                     << " (" << window.size() << " trajectories); spent "
-                     << accountant_.spent() << " of "
-                     << accountant_.total_budget() << ", next window needs "
-                     << window_epsilon;
-    return Status::OK();
-  }
+  const double window_epsilon = config_.batch.pipeline.epsilon_global +
+                                config_.batch.pipeline.epsilon_local;
+  size_t evicted = 0;
+  const bool admitted =
+      config_.accounting == BudgetAccounting::kPerObject
+          ? AdmitPerObject(&window, index, window_epsilon, &evicted)
+          : AdmitWholesale(window, index, window_epsilon);
+  if (!admitted) return Status::OK();
 
   BatchRunnerConfig batch_config = config_.batch;
   batch_config.pool = pool;
@@ -49,15 +107,42 @@ Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
   WindowReport window_report;
   window_report.index = index;
   window_report.trajectories = published.size();
+  window_report.trajectories_evicted = evicted;
   window_report.epsilon_spent = runner.report().epsilon_spent;
   window_report.batch = runner.report();
+  // The id lists are consumed below (per-object charge) and would
+  // otherwise sit duplicated in every retained WindowReport; the bounded
+  // report history keeps only the scalar diagnostics.
+  window_report.batch.shard_object_ids.clear();
   if (window_report.epsilon_spent > 0.0) {
+    if (config_.accounting == BudgetAccounting::kPerObject) {
+      // Charge the released objects in one transaction, keyed off the ids
+      // the batch actually consumed (BatchReport::shard_object_ids), at the
+      // window's spend (max over shards — each object sat in one shard, and
+      // uniform per-shard epsilons make the max exact, not just a bound).
+      // SpendWindow re-verifies admission, so even a drifted caller could
+      // never push an object past its budget.
+      std::vector<TrajId> released;
+      released.reserve(published.size());
+      for (const auto& shard_ids : runner.report().shard_object_ids) {
+        released.insert(released.end(), shard_ids.begin(), shard_ids.end());
+      }
+      FRT_RETURN_IF_ERROR(object_accountant_.SpendWindow(
+          released, window_report.epsilon_spent));
+    }
+    // The wholesale ledger runs in both modes (enforcing only under
+    // kWholesale), so per-object runs can report the pessimism gap between
+    // the sequential sum and the true per-object maximum.
     FRT_RETURN_IF_ERROR(accountant_.Spend(
         window_report.epsilon_spent,
         "window " + std::to_string(index) + " (sequential composition)"));
   }
-  window_report.epsilon_total = accountant_.spent();
-  report_.epsilon_spent = accountant_.spent();
+  const bool per_object =
+      config_.accounting == BudgetAccounting::kPerObject;
+  window_report.epsilon_total =
+      per_object ? object_accountant_.max_spent() : accountant_.spent();
+  report_.epsilon_spent = window_report.epsilon_total;
+  report_.epsilon_wholesale_equivalent = accountant_.spent();
   // The budget above is spent either way, but the window only counts as
   // published once the sink accepted it.
   FRT_RETURN_IF_ERROR(sink(published, window_report));
@@ -74,11 +159,17 @@ Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
 Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
                          Rng& rng) {
   report_ = StreamReport{};
-  exhausted_ = false;
-  accountant_ = config_.total_budget > 0.0
+  refused_ = false;
+  accountant_ = (config_.accounting == BudgetAccounting::kWholesale &&
+                 config_.total_budget > 0.0)
                     ? PrivacyAccountant(config_.total_budget)
                     : PrivacyAccountant();
   accountant_.set_max_ledger_entries(config_.max_window_reports);
+  object_accountant_ = (config_.accounting == BudgetAccounting::kPerObject &&
+                        config_.per_object_budget > 0.0)
+                           ? ObjectBudgetAccountant(config_.per_object_budget)
+                           : ObjectBudgetAccountant();
+  object_accountant_.set_max_tracked_objects(config_.max_tracked_objects);
   Stopwatch wall;
 
   // One pool for the whole stream; every window's BatchRunner borrows it,
@@ -109,29 +200,55 @@ Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
     queue.Close();
   });
 
+  // Ring buffer of pending trajectories. A window closes over the whole
+  // buffer once it holds window_size arrivals; the oldest `stride` are
+  // then retired, so with stride < window_size the remaining tail overlaps
+  // into the next window (sliding windows). `uncovered` counts arrivals
+  // not yet part of any closed window — what the trailing partial window
+  // must still cover at end of stream.
+  const size_t stride = config_.window_stride;
+  std::deque<Trajectory> pending;
+  size_t uncovered = 0;
+
+  auto close_window = [&]() -> Status {
+    Dataset window;
+    // Within one window each object must appear exactly once (the
+    // parallel-composition argument puts each object in one shard).
+    const bool overlaps = stride < config_.window_size && !pending.empty();
+    for (auto& t : pending) {
+      Status st = overlaps ? window.Add(t) : window.Add(std::move(t));
+      if (!st.ok()) {
+        return Status::InvalidArgument(
+            "window " + std::to_string(report_.windows_closed) + ": " +
+            st.message() + " (each object may appear once per window)");
+      }
+    }
+    if (overlaps) {
+      // The tail re-enters the next window, so only the stride retires.
+      for (size_t i = 0; i < stride && !pending.empty(); ++i) {
+        pending.pop_front();
+      }
+    } else {
+      pending.clear();
+    }
+    uncovered = 0;
+    return ProcessWindow(std::move(window), sink, rng, pool.get());
+  };
+
   Status run_status = Status::OK();
-  Dataset window;
   bool stopped_early = false;
   while (true) {
     std::optional<Trajectory> t = queue.Pop();
     if (!t.has_value()) break;
     ++report_.trajectories_in;
-    if (Status st = window.Add(std::move(*t)); !st.ok()) {
-      // Duplicate id inside one window: the window's parallel-composition
-      // argument needs each object in exactly one shard.
-      run_status = Status::InvalidArgument(
-          "window " + std::to_string(report_.windows_closed) + ": " +
-          st.message() + " (each object may appear once per window)");
-      break;
-    }
-    if (window.size() >= config_.window_size) {
-      if (Status st = ProcessWindow(std::move(window), sink, rng, pool.get());
-          !st.ok()) {
+    pending.push_back(std::move(*t));
+    ++uncovered;
+    if (pending.size() >= config_.window_size) {
+      if (Status st = close_window(); !st.ok()) {
         run_status = st;
         break;
       }
-      window = Dataset();
-      if (exhausted_ && config_.stop_when_exhausted) {
+      if (refused_ && config_.stop_when_exhausted) {
         stopped_early = true;
         break;
       }
@@ -146,8 +263,23 @@ Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
   queue.Close();
   producer.join();
   if (run_status.ok()) run_status = ingest_status;
-  if (run_status.ok() && !stopped_early && !window.empty()) {
-    run_status = ProcessWindow(std::move(window), sink, rng, pool.get());
+  if (run_status.ok() && !stopped_early && uncovered > 0) {
+    // The partially-filled next window: under sliding windows it starts
+    // with the overlap tail retained above, under tumbling windows it is
+    // exactly the arrivals since the last close. Movable either way — the
+    // stream is over, nothing re-enters a later window.
+    Dataset window;
+    for (auto& t : pending) {
+      if (Status st = window.Add(std::move(t)); !st.ok()) {
+        run_status = Status::InvalidArgument(
+            "window " + std::to_string(report_.windows_closed) + ": " +
+            st.message() + " (each object may appear once per window)");
+        break;
+      }
+    }
+    if (run_status.ok()) {
+      run_status = ProcessWindow(std::move(window), sink, rng, pool.get());
+    }
   }
   report_.wall_seconds = wall.ElapsedSeconds();
   return run_status;

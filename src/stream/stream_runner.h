@@ -2,20 +2,37 @@
 //
 // Pipeline: an ingest thread pulls trajectories from a TrajectoryReader and
 // pushes them through a BoundedQueue (backpressure caps in-flight memory);
-// the caller's thread closes tumbling windows of `window_size` trajectories
-// and anonymizes each window with BatchRunner, sharing one WorkStealingPool
-// across every window so no threads are re-spawned. Each published window
-// is handed to a sink callback immediately, so output is emitted
+// the caller's thread assembles windows of `window_size` trajectories from
+// a ring buffer of pending arrivals and anonymizes each window with
+// BatchRunner, sharing one WorkStealingPool across every window so no
+// threads are re-spawned. Windows advance by `window_stride` arrivals:
+// stride == size gives the classic tumbling windows, stride < size gives
+// sliding (overlapping) windows where each trajectory is re-published with
+// `window_size / stride` windows' worth of fresh context. Each published
+// window is handed to a sink callback immediately, so output is emitted
 // incrementally instead of after the whole stream.
 //
 // Privacy accounting (the part that differs from batch): within one window
 // every moving object appears in exactly one shard, so the window costs
 // eps_G + eps_L by parallel composition. Across windows the same object-id
-// space may reappear (the stream is a feed, not a partition), so windows
-// compose SEQUENTIALLY: the cross-window ledger sums the per-window spends
-// against `total_budget` and, once the next window no longer fits, refuses
-// it — refused windows are counted and dropped, never published with a
-// weaker guarantee.
+// space may reappear (the stream is a feed, not a partition), so an
+// object's releases compose SEQUENTIALLY. Two selectable accountants
+// enforce that:
+//
+//   kWholesale  — the PR 2 ledger: every window's spend is summed against
+//                 `total_budget` regardless of which objects it contained.
+//                 Sound but pessimistic (objects that never reappear are
+//                 billed as if they did); kept as the A/B baseline.
+//   kPerObject  — ObjectBudgetAccountant: a per-object-id ledger enforcing
+//                 `per_object_budget` on each object's own cumulative
+//                 spend, which is exactly the paper's per-object guarantee.
+//                 A window is refused only when it contains an object that
+//                 cannot afford it — and with `evict_exhausted` the
+//                 exhausted objects are evicted from the window while the
+//                 rest still publishes.
+//
+// Refused windows (and evicted trajectories) are counted and dropped,
+// never published with a weaker guarantee.
 
 #ifndef FRT_STREAM_STREAM_RUNNER_H_
 #define FRT_STREAM_STREAM_RUNNER_H_
@@ -27,33 +44,62 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "dp/accountant.h"
+#include "dp/object_accountant.h"
 #include "runtime/batch_runner.h"
 #include "stream/ingest.h"
 #include "traj/dataset.h"
 
 namespace frt {
 
+/// Cross-window budget accounting mode (see file comment).
+enum class BudgetAccounting {
+  kWholesale,  ///< one sequential ledger over all windows (PR 2 baseline)
+  kPerObject,  ///< per-object-id ledgers (paper's per-object guarantee)
+};
+
 /// Configuration of the streaming service.
 struct StreamRunnerConfig {
   /// Per-window execution: pipeline budgets, shard count, threads,
   /// dispatch. `batch.pool` is managed by the runner and ignored here.
   BatchRunnerConfig batch;
-  /// Trajectories per tumbling window. The final window may be smaller.
+  /// Trajectories per window. The final window may be smaller.
   size_t window_size = 1000;
-  /// Cross-window epsilon budget (sequential composition). 0 disables
+  /// Arrivals between consecutive window starts. 0 (default) means
+  /// window_size, i.e. tumbling windows; values in [1, window_size) give
+  /// sliding windows overlapping by window_size - stride trajectories.
+  /// Clamped to [1, window_size].
+  size_t window_stride = 0;
+  /// Which accountant enforces the cross-window guarantee.
+  BudgetAccounting accounting = BudgetAccounting::kWholesale;
+  /// kWholesale: total epsilon budget summed over every window. 0 disables
   /// enforcement: the ledger still tracks, but no window is ever refused.
   double total_budget = 0.0;
+  /// kPerObject: epsilon budget each object-id may cumulatively spend
+  /// across the windows that contain it. 0 disables enforcement.
+  double per_object_budget = 0.0;
+  /// kPerObject only: when a window contains exhausted objects, evict just
+  /// those trajectories and publish the rest, instead of refusing the
+  /// whole window. A window whose every object is exhausted is still
+  /// refused outright.
+  bool evict_exhausted = false;
+  /// kPerObject only: per-object ledgers retained exactly; beyond this the
+  /// lowest spenders fold into a conservative floor (see
+  /// ObjectBudgetAccountant). Bounds memory on unbounded id spaces.
+  /// 0 tracks every id exactly.
+  size_t max_tracked_objects = 1 << 20;
   /// Capacity of the ingest queue, in trajectories; 0 means 2x window_size.
   size_t queue_capacity = 0;
-  /// Most recent per-window reports (and accountant ledger entries)
+  /// Most recent per-window reports (and wholesale ledger entries)
   /// retained; aggregate counters stay exact. Bounds the runner's memory
   /// on unbounded feeds. 0 keeps every window's report.
   size_t max_window_reports = 64;
   /// End the run at the first refused window instead of draining (and
-  /// counting) the rest of the feed. The per-window cost is constant, so
-  /// the first refusal proves no later window can ever fit; on an
-  /// unbounded feed this is the only way the run terminates once the
-  /// budget is spent. Off by default: finite batch feeds usually want the
+  /// counting) the rest of the feed. Under kWholesale the per-window cost
+  /// is constant, so the first refusal proves no later window can ever fit
+  /// — on an unbounded feed this is the only way the run terminates once
+  /// the budget is spent. Under kPerObject a later window of fresh objects
+  /// could still fit; stopping is then simply "end service at the first
+  /// refusal". Off by default: finite batch feeds usually want the
   /// refused-trajectory tally.
   bool stop_when_exhausted = false;
 };
@@ -63,9 +109,13 @@ struct WindowReport {
   /// 0-based index in arrival order (refused windows keep their index).
   size_t index = 0;
   size_t trajectories = 0;
-  /// Epsilon this window consumed from the cross-window ledger.
+  /// Exhausted objects evicted from this window before anonymization
+  /// (kPerObject with evict_exhausted only).
+  size_t trajectories_evicted = 0;
+  /// Epsilon this window consumed (max over its shards).
   double epsilon_spent = 0.0;
-  /// Cumulative ledger total after this window.
+  /// Running guarantee after this window: cumulative ledger total under
+  /// kWholesale; maximum per-object cumulative spend under kPerObject.
   double epsilon_total = 0.0;
   /// Batch diagnostics (shard skew, edits, wall time) of this window.
   BatchReport batch;
@@ -79,8 +129,16 @@ struct StreamReport {
   size_t trajectories_in = 0;
   size_t trajectories_published = 0;
   size_t trajectories_refused = 0;
-  /// Ledger total across published windows (sequential composition).
+  /// Exhausted objects evicted from otherwise-published windows
+  /// (kPerObject with evict_exhausted only).
+  size_t trajectories_evicted = 0;
+  /// End-to-end guarantee of the published stream: ledger total under
+  /// kWholesale (sequential composition over windows); maximum per-object
+  /// cumulative spend under kPerObject.
   double epsilon_spent = 0.0;
+  /// kPerObject diagnostics: what the wholesale ledger would have charged
+  /// (sum over published windows) — the pessimism gap versus epsilon_spent.
+  double epsilon_wholesale_equivalent = 0.0;
   /// End-to-end wall time, ingest included.
   double wall_seconds = 0.0;
   /// Per-published-window diagnostics, in window order; bounded to the
@@ -88,9 +146,18 @@ struct StreamReport {
   std::vector<WindowReport> windows;
 };
 
+/// True when the run dropped anything on budget — a refused window or an
+/// evicted trajectory. frt_stream maps this to exit code 3, so tests can
+/// lock the CLI's exit behavior at the library layer.
+inline bool StreamHadRefusals(const StreamReport& report) {
+  return report.windows_refused > 0 || report.trajectories_evicted > 0;
+}
+
 /// Receives each published window right after anonymization. A non-OK
 /// return aborts the run. The Dataset holds only this window's
-/// trajectories; ids repeat across windows when objects reappear.
+/// trajectories; with sliding windows (stride < size) the same trajectory
+/// reappears in consecutive windows, and ids repeat across windows when
+/// objects reappear in the feed.
 using WindowSink =
     std::function<Status(const Dataset& published, const WindowReport&)>;
 
@@ -101,8 +168,8 @@ class StreamRunner {
   explicit StreamRunner(StreamRunnerConfig config);
 
   /// \brief Consumes the whole stream. Deterministic given `rng`'s state,
-  /// the window size, and the shard count — each window anonymizes on its
-  /// own fork of `rng`, in arrival order.
+  /// the window geometry, and the shard count — each window anonymizes on
+  /// its own fork of `rng`, in arrival order.
   ///
   /// Returns non-OK on ingest parse errors, duplicate ids within one
   /// window, pipeline failures, or sink failures. Budget exhaustion is NOT
@@ -119,21 +186,39 @@ class StreamRunner {
   /// Diagnostics of the most recent Run call.
   const StreamReport& report() const { return report_; }
 
-  /// Cross-window privacy ledger of the most recent Run call.
+  /// Wholesale cross-window ledger of the most recent Run call. Under
+  /// kPerObject it still tracks (never refuses) so the pessimism gap is
+  /// observable.
   const PrivacyAccountant& accountant() const { return accountant_; }
+
+  /// Per-object ledger of the most recent Run call (kPerObject mode; a
+  /// default-constructed tracker otherwise).
+  const ObjectBudgetAccountant& object_accountant() const {
+    return object_accountant_;
+  }
 
   const StreamRunnerConfig& config() const { return config_; }
 
  private:
   Status ProcessWindow(Dataset&& window, const WindowSink& sink, Rng& rng,
                        WorkStealingPool* pool);
+  /// Wholesale admission: true when the window may run. Refusals are
+  /// recorded in the report.
+  bool AdmitWholesale(const Dataset& window, size_t index,
+                      double window_epsilon);
+  /// Per-object admission: may evict exhausted trajectories from `window`
+  /// in place. Returns false when the whole window is refused.
+  bool AdmitPerObject(Dataset* window, size_t index, double window_epsilon,
+                      size_t* evicted);
 
   StreamRunnerConfig config_;
   StreamReport report_;
   PrivacyAccountant accountant_;
-  /// Latched by the first refused window (per-window cost is constant, so
-  /// exhaustion is permanent for the rest of the run).
-  bool exhausted_ = false;
+  ObjectBudgetAccountant object_accountant_;
+  /// Latched by the first refused window. Under kWholesale refusal is
+  /// permanent (constant per-window cost); under kPerObject it only drives
+  /// stop_when_exhausted.
+  bool refused_ = false;
 };
 
 }  // namespace frt

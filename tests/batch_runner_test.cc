@@ -8,40 +8,17 @@
 #include <vector>
 
 #include "synth/workload.h"
+#include "testing_util.h"
 
 namespace frt {
 namespace {
 
+using frt::testing::DatasetsEqual;
+using frt::testing::SmallPipeline;
+
 Dataset SmallFleet(int taxis, uint64_t seed) {
-  WorkloadConfig workload_config;
-  workload_config.num_taxis = taxis;
-  workload_config.target_points = 60;
-  RoadGenConfig road_config;
-  road_config.cols = 12;
-  road_config.rows = 12;
-  auto workload = GenerateTaxiWorkload(workload_config, road_config, seed);
-  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
-  return workload->dataset;
-}
-
-FrequencyRandomizerConfig SmallPipeline() {
-  FrequencyRandomizerConfig config;
-  config.m = 5;
-  config.epsilon_global = 0.5;
-  config.epsilon_local = 0.5;
-  return config;
-}
-
-bool DatasetsEqual(const Dataset& a, const Dataset& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].id() != b[i].id()) return false;
-    if (a[i].size() != b[i].size()) return false;
-    for (size_t j = 0; j < a[i].size(); ++j) {
-      if (!(a[i][j] == b[i][j])) return false;
-    }
-  }
-  return true;
+  return frt::testing::TaxiFleet(taxis, /*target_points=*/60,
+                                 /*grid_cols_rows=*/12, seed);
 }
 
 TEST(BatchRunnerTest, EmptyDatasetIsRejected) {
@@ -212,6 +189,31 @@ TEST(BatchRunnerTest, CombinedReportSumsShardEdits) {
   EXPECT_EQ(report.combined.global.edits.deletions, global_del);
   EXPECT_EQ(report.combined.candidate_set_size, candidates);
   EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+TEST(BatchRunnerTest, ReportsShardObjectIdsMatchingThePlan) {
+  // The per-object streaming accountant charges exactly the ids a window
+  // released, so the report must list every input id once, in shard order.
+  const Dataset input = SmallFleet(20, 3);
+  BatchRunnerConfig config;
+  config.pipeline = SmallPipeline();
+  config.shards = 4;
+  BatchRunner runner(config);
+  Rng rng(7);
+  auto out = runner.Anonymize(input, rng);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const auto& shard_ids = runner.report().shard_object_ids;
+  const auto plan = PlanShards(input.size(), 4);
+  ASSERT_EQ(shard_ids.size(), plan.size());
+  size_t total = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_EQ(shard_ids[i].size(), plan[i].size());
+    for (size_t j = 0; j < shard_ids[i].size(); ++j) {
+      EXPECT_EQ(shard_ids[i][j], input[plan[i].begin + j].id());
+    }
+    total += shard_ids[i].size();
+  }
+  EXPECT_EQ(total, input.size());
 }
 
 TEST(BatchRunnerTest, NameReflectsVariantAndShardCount) {

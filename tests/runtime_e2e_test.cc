@@ -10,6 +10,7 @@
 #include "core/pipeline.h"
 #include "runtime/batch_runner.h"
 #include "synth/workload.h"
+#include "testing_util.h"
 
 namespace frt {
 namespace {
@@ -20,16 +21,10 @@ constexpr uint64_t kPipelineSeed = 77;
 class RuntimeE2ETest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    WorkloadConfig workload_config;
-    workload_config.num_taxis = 48;
-    workload_config.target_points = 80;
-    RoadGenConfig road_config;
-    road_config.cols = 14;
-    road_config.rows = 14;
-    auto workload =
-        GenerateTaxiWorkload(workload_config, road_config, kWorkloadSeed);
-    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
-    dataset_ = new Dataset(workload->dataset);
+    dataset_ = new Dataset(frt::testing::TaxiFleet(
+        /*taxis=*/48, /*target_points=*/80, /*grid_cols_rows=*/14,
+        kWorkloadSeed));
+    ASSERT_FALSE(dataset_->empty());
   }
 
   static void TearDownTestSuite() {
@@ -38,11 +33,8 @@ class RuntimeE2ETest : public ::testing::Test {
   }
 
   static FrequencyRandomizerConfig PipelineConfig() {
-    FrequencyRandomizerConfig config;
-    config.m = 8;
-    config.epsilon_global = 0.4;
-    config.epsilon_local = 0.6;
-    return config;
+    return frt::testing::SmallPipeline(/*m=*/8, /*epsilon_global=*/0.4,
+                                       /*epsilon_local=*/0.6);
   }
 
   static const Dataset* dataset_;
@@ -51,19 +43,12 @@ class RuntimeE2ETest : public ::testing::Test {
 const Dataset* RuntimeE2ETest::dataset_ = nullptr;
 
 TEST_F(RuntimeE2ETest, WorkloadGenerationIsDeterministic) {
-  WorkloadConfig workload_config;
-  workload_config.num_taxis = 48;
-  workload_config.target_points = 80;
-  RoadGenConfig road_config;
-  road_config.cols = 14;
-  road_config.rows = 14;
-  auto again =
-      GenerateTaxiWorkload(workload_config, road_config, kWorkloadSeed);
-  ASSERT_TRUE(again.ok());
-  ASSERT_EQ(again->dataset.size(), dataset_->size());
-  EXPECT_EQ(again->dataset.TotalPoints(), dataset_->TotalPoints());
+  const Dataset again =
+      frt::testing::TaxiFleet(48, 80, 14, kWorkloadSeed);
+  ASSERT_EQ(again.size(), dataset_->size());
+  EXPECT_EQ(again.TotalPoints(), dataset_->TotalPoints());
   for (size_t i = 0; i < dataset_->size(); ++i) {
-    EXPECT_EQ(again->dataset[i].points(), (*dataset_)[i].points());
+    EXPECT_EQ(again[i].points(), (*dataset_)[i].points());
   }
 }
 

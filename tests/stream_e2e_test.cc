@@ -14,35 +14,15 @@
 #include <vector>
 
 #include "stream/ingest.h"
+#include "testing_util.h"
 
 namespace frt {
 namespace {
 
-constexpr uint64_t kSeed = 20260730;
+using frt::testing::SinkCapture;
+using frt::testing::SyntheticCsv;
 
-// Deterministic synthetic feed: trajectory i is a drifting walk in a ~2 km
-// box; lengths vary with i so shard workloads are skewed. Lengths are
-// realistic (>= 24 samples): trajectories short enough for the deletion
-// mechanism to empty entirely would vanish from the CSV serialization,
-// which is a property of the paper's pipeline, not of the streaming
-// machinery under test.
-std::string SyntheticCsv(int num_trajectories) {
-  std::ostringstream out;
-  out << "# traj_id,x,y,t\n";
-  for (int i = 0; i < num_trajectories; ++i) {
-    const int points = 24 + (i * 7) % 17;
-    double x = 200.0 + (i * 137) % 1700;
-    double y = 300.0 + (i * 251) % 1500;
-    int64_t t = 1000 + i;
-    for (int j = 0; j < points; ++j) {
-      out << i << ',' << x << ',' << y << ',' << t << '\n';
-      x += 35.0 + (j * 11) % 20;
-      y += 25.0 + ((i + j) * 13) % 30;
-      t += 60;
-    }
-  }
-  return out.str();
-}
+constexpr uint64_t kSeed = 20260730;
 
 StreamRunnerConfig SmallConfig(size_t window, double budget) {
   StreamRunnerConfig config;
@@ -54,23 +34,6 @@ StreamRunnerConfig SmallConfig(size_t window, double budget) {
   config.batch.pipeline.epsilon_local = 0.5;
   return config;
 }
-
-struct SinkCapture {
-  std::vector<TrajId> ids;
-  std::vector<std::vector<TimedPoint>> points;
-  size_t windows = 0;
-
-  WindowSink MakeSink() {
-    return [this](const Dataset& published, const WindowReport&) -> Status {
-      ++windows;
-      for (const auto& t : published.trajectories()) {
-        ids.push_back(t.id());
-        points.push_back(t.points());
-      }
-      return Status::OK();
-    };
-  }
-};
 
 TEST(StreamE2ETest, TenThousandTrajectoriesWindowed) {
   const int kTrajectories = 10000;

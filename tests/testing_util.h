@@ -1,0 +1,121 @@
+// Shared fixture builders for the FRT test suites. Extracted from
+// stream_e2e_test, batch_runner_test, and runtime_e2e_test so the synthetic
+// feeds, taxi fleets, and capture sinks the suites drive cannot drift
+// apart as tests are added.
+
+#ifndef FRT_TESTS_TESTING_UTIL_H_
+#define FRT_TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stream/stream_runner.h"
+#include "synth/workload.h"
+#include "traj/dataset.h"
+
+namespace frt::testing {
+
+/// Deterministic synthetic feed: trajectory i is a drifting walk in a ~2 km
+/// box; lengths vary with i so shard workloads are skewed. Lengths are
+/// realistic (>= 24 samples): trajectories short enough for the deletion
+/// mechanism to empty entirely would vanish from the CSV serialization,
+/// which is a property of the paper's pipeline, not of the streaming
+/// machinery under test.
+///
+/// With `distinct_ids` == 0 every arrival gets a fresh id (a partition-like
+/// feed). With `distinct_ids` > 0 ids recycle modulo it, so every object
+/// reappears arrivals/distinct_ids times — the pattern that separates
+/// wholesale from per-object budget accounting. Ids stay unique within any
+/// window of up to distinct_ids arrivals.
+inline std::string SyntheticCsv(int arrivals, int distinct_ids = 0) {
+  std::ostringstream out;
+  out << "# traj_id,x,y,t\n";
+  for (int i = 0; i < arrivals; ++i) {
+    const int id = distinct_ids > 0 ? i % distinct_ids : i;
+    const int points = 24 + (i * 7) % 17;
+    double x = 200.0 + (i * 137) % 1700;
+    double y = 300.0 + (i * 251) % 1500;
+    int64_t t = 1000 + i;
+    for (int j = 0; j < points; ++j) {
+      out << id << ',' << x << ',' << y << ',' << t << '\n';
+      x += 35.0 + (j * 11) % 20;
+      y += 25.0 + ((i + j) * 13) % 30;
+      t += 60;
+    }
+  }
+  return out.str();
+}
+
+/// Deterministic synthetic taxi fleet on a grid city.
+inline Dataset TaxiFleet(int taxis, int target_points, int grid_cols_rows,
+                         uint64_t seed) {
+  WorkloadConfig workload_config;
+  workload_config.num_taxis = taxis;
+  workload_config.target_points = target_points;
+  RoadGenConfig road_config;
+  road_config.cols = grid_cols_rows;
+  road_config.rows = grid_cols_rows;
+  auto workload = GenerateTaxiWorkload(workload_config, road_config, seed);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return workload->dataset;
+}
+
+/// Pipeline config with the given signature size and stage budgets.
+inline FrequencyRandomizerConfig SmallPipeline(int m = 5,
+                                               double epsilon_global = 0.5,
+                                               double epsilon_local = 0.5) {
+  FrequencyRandomizerConfig config;
+  config.m = m;
+  config.epsilon_global = epsilon_global;
+  config.epsilon_local = epsilon_local;
+  return config;
+}
+
+/// Structural equality of two datasets (ids, sizes, and points).
+inline bool DatasetsEqual(const Dataset& a, const Dataset& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id() != b[i].id()) return false;
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (!(a[i][j] == b[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+/// Window sink that records everything the stream publishes, window by
+/// window.
+struct SinkCapture {
+  std::vector<TrajId> ids;
+  std::vector<std::vector<TimedPoint>> points;
+  /// Published trajectory ids of each window, in window order.
+  std::vector<std::vector<TrajId>> window_ids;
+  std::vector<WindowReport> reports;
+  size_t windows = 0;
+
+  WindowSink MakeSink() {
+    return [this](const Dataset& published,
+                  const WindowReport& report) -> Status {
+      ++windows;
+      reports.push_back(report);
+      std::vector<TrajId> this_window;
+      for (const auto& t : published.trajectories()) {
+        ids.push_back(t.id());
+        this_window.push_back(t.id());
+        points.push_back(t.points());
+      }
+      window_ids.push_back(std::move(this_window));
+      return Status::OK();
+    };
+  }
+};
+
+}  // namespace frt::testing
+
+#endif  // FRT_TESTS_TESTING_UTIL_H_

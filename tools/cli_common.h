@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "stream/stream_runner.h"
 
 namespace frt::cli {
 
@@ -137,6 +138,149 @@ inline const char* PipelineUsageText() {
       "(default 1)\n"
       "  --threads N          worker threads; 0 = hardware concurrency "
       "(default 0)\n";
+}
+
+// ---- Streaming flags (frt_stream; shared here so future streaming tools
+// cannot drift from the same windowing/budget vocabulary) ----
+
+/// Raw values of the streaming-service flags.
+struct StreamArgs {
+  size_t window = 1000;
+  size_t stride = 0;  ///< 0 = tumbling (stride == window)
+  double budget = 0.0;             ///< wholesale ledger; 0 = track only
+  double per_object_budget = 0.0;  ///< per-object ledgers; 0 = off
+  bool evict_exhausted = false;
+  size_t queue = 0;
+  std::string dispatch = "steal";
+  bool stop_on_exhausted = false;
+};
+
+/// \brief Tries to consume argv[*i] as one of the streaming flags.
+inline FlagParse ParseStreamFlag(int argc, char** argv, int* i,
+                                 StreamArgs* args) {
+  const char* flag = argv[*i];
+  auto next = [&]() -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  const char* v = nullptr;
+  if (std::strcmp(flag, "--window") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    const long long n = std::atoll(v);
+    if (n < 1) {
+      std::fprintf(stderr, "--window must be >= 1\n");
+      return FlagParse::kError;
+    }
+    args->window = static_cast<size_t>(n);
+  } else if (std::strcmp(flag, "--stride") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    const long long n = std::atoll(v);
+    if (n < 1) {
+      std::fprintf(stderr, "--stride must be >= 1\n");
+      return FlagParse::kError;
+    }
+    args->stride = static_cast<size_t>(n);
+  } else if (std::strcmp(flag, "--budget") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->budget = std::atof(v);
+  } else if (std::strcmp(flag, "--per-object-budget") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->per_object_budget = std::atof(v);
+  } else if (std::strcmp(flag, "--evict-exhausted") == 0) {
+    args->evict_exhausted = true;
+  } else if (std::strcmp(flag, "--queue") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->queue = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  } else if (std::strcmp(flag, "--dispatch") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->dispatch = v;
+  } else if (std::strcmp(flag, "--stop-on-exhausted") == 0) {
+    args->stop_on_exhausted = true;
+  } else {
+    return FlagParse::kNotMine;
+  }
+  return FlagParse::kConsumed;
+}
+
+/// \brief Validates the streaming flags (with an already-validated pipeline
+/// config) and fills the StreamRunner config. Reports to stderr and returns
+/// false on invalid combinations.
+inline bool MakeStreamConfig(const StreamArgs& args,
+                             const PipelineArgs& pipeline_args,
+                             const FrequencyRandomizerConfig& pipeline,
+                             StreamRunnerConfig* config) {
+  if (args.stride > args.window) {
+    std::fprintf(stderr, "--stride (%zu) must be <= --window (%zu)\n",
+                 args.stride, args.window);
+    return false;
+  }
+  if (args.budget > 0.0 && args.per_object_budget > 0.0) {
+    std::fprintf(stderr,
+                 "--budget and --per-object-budget select different "
+                 "accountants; pass at most one\n");
+    return false;
+  }
+  if (args.evict_exhausted && args.per_object_budget <= 0.0) {
+    std::fprintf(stderr,
+                 "--evict-exhausted requires --per-object-budget (only the "
+                 "per-object ledger can refuse a single object)\n");
+    return false;
+  }
+  if (args.dispatch != "steal" && args.dispatch != "static") {
+    std::fprintf(stderr, "--dispatch must be steal or static\n");
+    return false;
+  }
+  config->window_size = args.window;
+  config->window_stride = args.stride;
+  config->total_budget = args.budget;
+  config->per_object_budget = args.per_object_budget;
+  config->accounting = args.per_object_budget > 0.0
+                           ? BudgetAccounting::kPerObject
+                           : BudgetAccounting::kWholesale;
+  config->evict_exhausted = args.evict_exhausted;
+  config->queue_capacity = args.queue;
+  config->stop_when_exhausted = args.stop_on_exhausted;
+  config->batch.pipeline = pipeline;
+  config->batch.shards = pipeline_args.shards;
+  config->batch.threads = pipeline_args.threads;
+  config->batch.dispatch = args.dispatch == "static"
+                               ? ShardDispatch::kStatic
+                               : ShardDispatch::kWorkStealing;
+  return true;
+}
+
+/// Usage text of the streaming flags (embed in each tool's Usage()).
+inline const char* StreamUsageText() {
+  return
+      "  --window N           trajectories per window (default 1000)\n"
+      "  --stride N           arrivals between window starts; N < window "
+      "gives\n"
+      "                       sliding (overlapping) windows (default: "
+      "window,\n"
+      "                       i.e. tumbling)\n"
+      "  --budget X           wholesale epsilon budget: every window's "
+      "spend\n"
+      "                       sums against it (default 0 = track only)\n"
+      "  --per-object-budget X\n"
+      "                       per-object epsilon budget: each object-id's "
+      "own\n"
+      "                       cumulative spend is capped (the paper's "
+      "per-object\n"
+      "                       guarantee; excludes --budget)\n"
+      "  --evict-exhausted    with --per-object-budget: evict exhausted "
+      "objects\n"
+      "                       from a window instead of refusing the whole "
+      "window\n"
+      "  --queue N            ingest queue capacity in trajectories "
+      "(default 2*window)\n"
+      "  --dispatch D         shard dispatch: steal | static (default "
+      "steal)\n"
+      "  --stop-on-exhausted  end the run at the first refused window "
+      "(required\n"
+      "                       for --budget on a feed that never ends)\n";
 }
 
 }  // namespace frt::cli

@@ -1,26 +1,35 @@
 // frt_stream — long-running windowed trajectory anonymizer.
 //
 // Consumes the CSV dataset format (traj/io.h) from a file or stdin
-// (`--input -`) incrementally, closes tumbling windows of --window
-// trajectories, anonymizes each window with the paper's pipeline (sharded,
-// work-stealing execution), and appends each published window to the output
-// as soon as it is done. Within a window the guarantee is
+// (`--input -`) incrementally, assembles windows of --window trajectories
+// (advancing by --stride arrivals; stride < window gives sliding,
+// overlapping windows), anonymizes each window with the paper's pipeline
+// (sharded, work-stealing execution), and appends each published window to
+// the output as soon as it is done. Within a window the guarantee is
 // eps_G + eps_L (parallel composition over shards); across windows spends
-// compose sequentially against --budget, and once the budget cannot cover
-// another window the remaining windows are refused, not published.
+// compose sequentially under one of two ledgers:
+//
+//   --budget B            wholesale: all windows' spends sum against B.
+//   --per-object-budget B per object-id: each object's own cumulative
+//                         spend is capped at B (the paper's per-object
+//                         guarantee); add --evict-exhausted to drop just
+//                         the exhausted objects instead of whole windows.
+//
+// Once a window cannot be covered it is refused, not published.
 //
 //   frt_stream --input raw.csv|- --output published.csv|-
-//       [--window 1000] [--budget 0 (unlimited)]
+//       [--window 1000] [--stride N] [--budget 0 (unlimited)]
+//       [--per-object-budget 0] [--evict-exhausted]
 //       [--epsilon-global 0.5] [--epsilon-local 0.5] [--m 10]
 //       [--strategy hg+|hgt|hgb|ug|linear] [--order global|local]
 //       [--seed 42] [--shards 1] [--threads 0] [--queue 0]
-//       [--dispatch steal|static]
+//       [--dispatch steal|static] [--stop-on-exhausted]
 //
 // Exit codes: 0 = all windows published; 3 = completed but at least one
-// window was refused on budget; 1 = runtime error; 2 = usage error.
+// window was refused (or object evicted) on budget; 1 = runtime error;
+// 2 = usage error.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,40 +45,30 @@ namespace {
 struct Args {
   std::string input;
   std::string output;
-  size_t window = 1000;
-  double budget = 0.0;  // 0 = unlimited
-  size_t queue = 0;
-  std::string dispatch = "steal";
-  bool stop_on_exhausted = false;
+  frt::cli::StreamArgs stream;
   frt::cli::PipelineArgs pipeline;
 };
 
 void Usage(const char* prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s --input FILE|- --output FILE|- [options]\n"
-      "  --input -            read the feed from stdin\n"
-      "  --window N           trajectories per tumbling window (default "
-      "1000)\n"
-      "  --budget X           total cross-window epsilon budget; windows "
-      "compose\n"
-      "                       sequentially and are refused once it is "
-      "exhausted\n"
-      "                       (default 0 = track only, never refuse)\n"
-      "  --queue N            ingest queue capacity in trajectories "
-      "(default 2*window)\n"
-      "  --dispatch D         shard dispatch: steal | static (default "
-      "steal)\n"
-      "  --stop-on-exhausted  end the run at the first refused window "
-      "(required\n"
-      "                       for --budget on a feed that never ends)\n"
-      "%s",
-      prog, frt::cli::PipelineUsageText());
+  std::fprintf(stderr,
+               "usage: %s --input FILE|- --output FILE|- [options]\n"
+               "  --input -            read the feed from stdin\n"
+               "%s%s",
+               prog, frt::cli::StreamUsageText(),
+               frt::cli::PipelineUsageText());
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     switch (frt::cli::ParsePipelineFlag(argc, argv, &i, &args->pipeline)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
+    switch (frt::cli::ParseStreamFlag(argc, argv, &i, &args->stream)) {
       case frt::cli::FlagParse::kConsumed:
         continue;
       case frt::cli::FlagParse::kError:
@@ -91,25 +90,6 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (std::strcmp(argv[i], "--output") == 0) {
       if ((v = next("--output")) == nullptr) return false;
       args->output = v;
-    } else if (std::strcmp(argv[i], "--window") == 0) {
-      if ((v = next("--window")) == nullptr) return false;
-      const long long n = std::atoll(v);
-      if (n < 1) {
-        std::fprintf(stderr, "--window must be >= 1\n");
-        return false;
-      }
-      args->window = static_cast<size_t>(n);
-    } else if (std::strcmp(argv[i], "--budget") == 0) {
-      if ((v = next("--budget")) == nullptr) return false;
-      args->budget = std::atof(v);
-    } else if (std::strcmp(argv[i], "--queue") == 0) {
-      if ((v = next("--queue")) == nullptr) return false;
-      args->queue = static_cast<size_t>(std::strtoull(v, nullptr, 10));
-    } else if (std::strcmp(argv[i], "--dispatch") == 0) {
-      if ((v = next("--dispatch")) == nullptr) return false;
-      args->dispatch = v;
-    } else if (std::strcmp(argv[i], "--stop-on-exhausted") == 0) {
-      args->stop_on_exhausted = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -117,10 +97,6 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->input.empty() || args->output.empty()) {
     std::fprintf(stderr, "--input and --output are required\n");
-    return false;
-  }
-  if (args->dispatch != "steal" && args->dispatch != "static") {
-    std::fprintf(stderr, "--dispatch must be steal or static\n");
     return false;
   }
   return true;
@@ -137,17 +113,14 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  frt::FrequencyRandomizerConfig pipeline_config;
+  if (!frt::cli::MakePipelineConfig(args.pipeline, &pipeline_config)) {
+    Usage(argv[0]);
+    return 2;
+  }
   frt::StreamRunnerConfig config;
-  config.window_size = args.window;
-  config.total_budget = args.budget;
-  config.queue_capacity = args.queue;
-  config.stop_when_exhausted = args.stop_on_exhausted;
-  config.batch.shards = args.pipeline.shards;
-  config.batch.threads = args.pipeline.threads;
-  config.batch.dispatch = args.dispatch == "static"
-                              ? frt::ShardDispatch::kStatic
-                              : frt::ShardDispatch::kWorkStealing;
-  if (!frt::cli::MakePipelineConfig(args.pipeline, &config.batch.pipeline)) {
+  if (!frt::cli::MakeStreamConfig(args.stream, args.pipeline, pipeline_config,
+                                  &config)) {
     Usage(argv[0]);
     return 2;
   }
@@ -175,6 +148,8 @@ int main(int argc, char** argv) {
   frt::TrajectoryReader reader(in);
   frt::StreamRunner runner(config);
   frt::Rng rng(args.pipeline.seed);
+  const bool per_object =
+      config.accounting == frt::BudgetAccounting::kPerObject;
 
   bool wrote_header = false;
   auto sink = [&](const frt::Dataset& published,
@@ -189,14 +164,23 @@ int main(int argc, char** argv) {
     out.flush();
     if (!out.good()) return frt::Status::IOError("write failed");
     const frt::BatchReport& batch = window.batch;
+    std::string evicted_note =
+        window.trajectories_evicted > 0
+            ? ", " + std::to_string(window.trajectories_evicted) + " evicted"
+            : "";
     std::fprintf(stderr,
-                 "window %zu: %zu trajs, eps=%.2f (ledger %.2f%s), %.2fs "
+                 "window %zu: %zu trajs%s, eps=%.2f (%s %.2f%s), %.2fs "
                  "wall, shard wall min/mean/max %.3f/%.3f/%.3f s\n",
-                 window.index, window.trajectories, window.epsilon_spent,
-                 window.epsilon_total,
-                 args.budget > 0.0
-                     ? (" of " + std::to_string(args.budget)).c_str()
-                     : "",
+                 window.index, window.trajectories, evicted_note.c_str(),
+                 window.epsilon_spent,
+                 per_object ? "max object" : "ledger", window.epsilon_total,
+                 args.stream.budget > 0.0
+                     ? (" of " + std::to_string(args.stream.budget)).c_str()
+                     : (args.stream.per_object_budget > 0.0
+                            ? (" of " +
+                               std::to_string(args.stream.per_object_budget))
+                                  .c_str()
+                            : ""),
                  batch.wall_seconds, batch.shard_wall_min,
                  batch.shard_wall_mean, batch.shard_wall_max);
     return frt::Status::OK();
@@ -210,18 +194,30 @@ int main(int argc, char** argv) {
   const frt::StreamReport& report = runner.report();
   std::fprintf(stderr,
                "stream done in %.1fs: %zu trajectories in, %zu windows "
-               "published (%zu trajs), eps ledger %.2f\n",
+               "published (%zu trajs), eps %s %.2f\n",
                report.wall_seconds, report.trajectories_in,
                report.windows_published, report.trajectories_published,
-               report.epsilon_spent);
-  if (report.windows_refused > 0) {
+               per_object ? "max object" : "ledger", report.epsilon_spent);
+  if (per_object) {
+    std::fprintf(stderr,
+                 "per-object accounting: max object eps %.2f vs %.2f the "
+                 "wholesale ledger would have charged (%zu object(s) "
+                 "tracked, %zu evicted from windows)\n",
+                 runner.object_accountant().max_spent(),
+                 report.epsilon_wholesale_equivalent,
+                 runner.object_accountant().tracked_objects(),
+                 report.trajectories_evicted);
+  }
+  if (frt::StreamHadRefusals(report)) {
     std::fprintf(stderr,
                  "budget exhausted: refused %zu window(s) / %zu "
-                 "trajectories after spending %.2f of %.2f; raise --budget "
-                 "or lower the per-window epsilons to cover more of the "
-                 "stream\n",
+                 "trajectories, evicted %zu trajectorie(s), after spending "
+                 "%.2f of %.2f; raise the budget or lower the per-window "
+                 "epsilons to cover more of the stream\n",
                  report.windows_refused, report.trajectories_refused,
-                 report.epsilon_spent, args.budget);
+                 report.trajectories_evicted, report.epsilon_spent,
+                 per_object ? args.stream.per_object_budget
+                            : args.stream.budget);
     return 3;
   }
   return 0;
