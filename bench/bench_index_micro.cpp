@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "index/search_context.h"
 #include "index/segment_index.h"
 
 namespace frt {
@@ -63,9 +64,32 @@ void BM_IndexKnnSegments(benchmark::State& state) {
   Rng rng(3);
   SearchOptions options;
   options.k = 8;
+  const uint64_t evals_before = index->distance_evaluations();
   for (auto _ : state) {
     const Point q{rng.Uniform(0, kRegion), rng.Uniform(0, kRegion)};
     benchmark::DoNotOptimize(index->KNearest(q, options));
+  }
+  state.SetLabel(std::string(SearchStrategyName(strategy)));
+  state.counters["dist_evals_per_query"] = benchmark::Counter(
+      static_cast<double>(index->distance_evaluations() - evals_before) /
+      static_cast<double>(state.iterations()));
+}
+
+// The allocation-free steady state: same workload as BM_IndexKnnSegments
+// but through a caller-provided reused SearchContext.
+void BM_IndexKnnSegmentsCtx(benchmark::State& state) {
+  const auto strategy = StrategyOf(static_cast<int>(state.range(0)));
+  const auto segments = RandomSegments(
+      static_cast<size_t>(state.range(1)), 2);
+  auto index = MakeSegmentIndex(strategy, MicroGrid());
+  (void)index->Build(segments);
+  Rng rng(3);
+  SearchOptions options;
+  options.k = 8;
+  SearchContext ctx;
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, kRegion), rng.Uniform(0, kRegion)};
+    benchmark::DoNotOptimize(index->KNearest(q, options, &ctx));
   }
   state.SetLabel(std::string(SearchStrategyName(strategy)));
 }
@@ -85,6 +109,22 @@ void BM_IndexKnnTrajectories(benchmark::State& state) {
     benchmark::DoNotOptimize(index->KNearest(q, options));
   }
   state.SetLabel(std::string(SearchStrategyName(strategy)));
+}
+
+// Bulk Build vs one-at-a-time Insert: the IntraTrajectoryModifier::Apply
+// pattern (a throwaway per-trajectory index built in one shot).
+void BM_IndexBulkBuild(benchmark::State& state) {
+  const auto strategy = StrategyOf(static_cast<int>(state.range(0)));
+  const auto segments = RandomSegments(
+      static_cast<size_t>(state.range(1)), 1);
+  for (auto _ : state) {
+    auto index = MakeSegmentIndex(strategy, MicroGrid());
+    benchmark::DoNotOptimize(index->Build(segments));
+    benchmark::DoNotOptimize(index->size());
+  }
+  state.SetLabel(std::string(SearchStrategyName(strategy)));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(segments.size()));
 }
 
 void BM_IndexUpdate(benchmark::State& state) {
@@ -129,8 +169,13 @@ BENCHMARK(BM_IndexBuild)->Apply([](benchmark::internal::Benchmark* b) {
 })->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IndexKnnSegments)->Apply(StrategySizes)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexKnnSegmentsCtx)->Apply(StrategySizes)
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_IndexKnnTrajectories)->Apply(StrategySizes)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexBulkBuild)->Apply([](benchmark::internal::Benchmark* b) {
+  for (int strategy = 0; strategy < 5; ++strategy) b->Args({strategy, 20000});
+})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IndexUpdate)->Apply([](benchmark::internal::Benchmark* b) {
   for (int strategy = 0; strategy < 5; ++strategy) b->Args({strategy});
 })->Unit(benchmark::kMicrosecond);

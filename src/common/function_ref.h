@@ -1,0 +1,77 @@
+// FunctionRef<R(Args...)>: a trivially copyable, non-owning callable
+// reference (two words: object pointer + trampoline), replacing
+// std::function on hot paths where the callable always outlives the call —
+// the index eligibility filter and the modifier's handle mappers. Unlike
+// std::function it never allocates and never copies the callable.
+//
+// Lifetime rule: a FunctionRef does not extend the life of what it refers
+// to. To make dangling hard to write, the callable constructor only binds
+// *lvalues* — `FunctionRef<...> f = lambda;` compiles only when `lambda` is
+// a named object (plain function pointers, which have no lifetime, are
+// taken by value). Storing a FunctionRef beyond the referee's scope is
+// still the caller's bug, as with string_view.
+
+#ifndef FRT_COMMON_FUNCTION_REF_H_
+#define FRT_COMMON_FUNCTION_REF_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace frt {
+
+template <typename Signature>
+class FunctionRef;  // undefined; see the R(Args...) specialization
+
+/// \brief Non-owning reference to a callable with signature R(Args...).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() = default;
+  constexpr FunctionRef(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+
+  /// Binds a named callable (lambda, functor). Lvalues only: temporaries
+  /// are rejected at compile time so the referee cannot die before the ref.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<F>, FunctionRef> &&
+                !std::is_function_v<F> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F& f)  // NOLINT(runtime/explicit)
+      : invoke_([](Storage s, Args... args) -> R {
+          return (*static_cast<F*>(s.obj))(std::forward<Args>(args)...);
+        }) {
+    storage_.obj = const_cast<void*>(static_cast<const void*>(&f));
+  }
+
+  /// Binds a plain function (by pointer; no lifetime concerns).
+  FunctionRef(R (*fn)(Args...))  // NOLINT(runtime/explicit)
+      : invoke_(fn == nullptr
+                    ? nullptr
+                    : +[](Storage s, Args... args) -> R {
+                        return reinterpret_cast<R (*)(Args...)>(s.raw_fn)(
+                            std::forward<Args>(args)...);
+                      }) {
+    storage_.raw_fn = reinterpret_cast<void (*)()>(fn);
+  }
+
+  /// True when a callable is bound.
+  constexpr explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  union Storage {
+    void* obj;
+    void (*raw_fn)();
+  };
+
+  Storage storage_{};
+  R (*invoke_)(Storage, Args...) = nullptr;
+};
+
+}  // namespace frt
+
+#endif  // FRT_COMMON_FUNCTION_REF_H_

@@ -1,0 +1,59 @@
+// Span<T>: a minimal non-owning view over a contiguous sequence — the
+// C++17 stand-in for std::span used across the index hot path (bulk Build,
+// zero-copy result and cell-content views). Implicitly constructible from
+// std::vector so call sites read like the C++20 API.
+
+#ifndef FRT_COMMON_SPAN_H_
+#define FRT_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace frt {
+
+/// \brief Non-owning view of `size` contiguous elements starting at `data`.
+///
+/// The viewed sequence must outlive the span. A Span<const T> is
+/// constructible from both const and mutable vectors of T.
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  Span(std::vector<value_type>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<value_type>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  /// A temporary vector dies at the end of the full expression; viewing one
+  /// is always a dangling read, so reject it at compile time (same rule as
+  /// FunctionRef).
+  Span(const std::vector<value_type>&&) = delete;
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace frt
+
+#endif  // FRT_COMMON_SPAN_H_

@@ -5,26 +5,40 @@
 #include <limits>
 #include <unordered_set>
 
+#include "index/search_context.h"
+
 namespace frt {
 namespace {
 
-// Sorted keys with negative (deletion) or positive (insertion) deltas; the
-// fixed order keeps the whole modification deterministic.
-std::vector<LocationKey> KeysWithSign(const FrequencyDelta& delta,
-                                      int sign) {
-  std::vector<LocationKey> keys;
+/// Handle mapper shared by the edit helpers: non-owning (the callables are
+/// named lambdas in the Apply bodies, alive for the whole batch).
+using HandleOf = FunctionRef<SegmentHandle(NodeHandle)>;
+
+// Sorted keys with negative (deletion) and positive (insertion) deltas,
+// split in one pass over `delta`; the fixed order keeps the whole
+// modification deterministic.
+struct SignedKeys {
+  std::vector<LocationKey> neg;
+  std::vector<LocationKey> pos;
+};
+
+SignedKeys SplitKeys(const FrequencyDelta& delta) {
+  SignedKeys keys;
+  keys.neg.reserve(delta.size());
+  keys.pos.reserve(delta.size());
   for (const auto& [key, d] : delta) {
-    if ((sign < 0 && d < 0) || (sign > 0 && d > 0)) keys.push_back(key);
+    if (d < 0) keys.neg.push_back(key);
+    if (d > 0) keys.pos.push_back(key);
   }
-  std::sort(keys.begin(), keys.end());
+  std::sort(keys.neg.begin(), keys.neg.end());
+  std::sort(keys.pos.begin(), keys.pos.end());
   return keys;
 }
 
 // Deletes node `n` from `et`, keeping `index` synchronized. Returns the
 // Def. 6 utility loss of the deletion.
 double DeleteNodeSync(EditableTrajectory* et, NodeHandle n,
-                      SegmentIndex* index,
-                      const std::function<SegmentHandle(NodeHandle)>& h) {
+                      SegmentIndex* index, HandleOf h) {
   const double loss = et->DeletionLoss(n);
   const NodeHandle p = et->Prev(n);
   const NodeHandle x = et->Next(n);
@@ -40,8 +54,7 @@ double DeleteNodeSync(EditableTrajectory* et, NodeHandle n,
 // Inserts `q` into the segment starting at `left`, keeping `index`
 // synchronized. Returns the new node handle.
 NodeHandle InsertPointSync(EditableTrajectory* et, NodeHandle left,
-                           const Point& q, SegmentIndex* index,
-                           const std::function<SegmentHandle(NodeHandle)>& h) {
+                           const Point& q, SegmentIndex* index, HandleOf h) {
   (void)index->Remove(h(left));
   auto res = et->InsertInto(left, q);
   const NodeHandle node = res.value();
@@ -56,8 +69,7 @@ NodeHandle InsertPointSync(EditableTrajectory* et, NodeHandle left,
 // changes its neighbors' reconnection cost.
 double GreedyDeleteOccurrences(
     EditableTrajectory* et, std::vector<NodeHandle>* nodes, int64_t count,
-    SegmentIndex* index,
-    const std::function<SegmentHandle(NodeHandle)>& h, size_t* deletions) {
+    SegmentIndex* index, HandleOf h, size_t* deletions) {
   double loss = 0.0;
   for (int64_t i = 0; i < count && !nodes->empty(); ++i) {
     size_t best = 0;
@@ -86,10 +98,11 @@ Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
     return Status::InvalidArgument("null argument");
   }
   if (delta.empty()) return Status::OK();
+  const SignedKeys keys = SplitKeys(delta);
   if (traj->NumPoints() == 0) {
     // Degenerate input: no geometry to search; insertions simply extend
     // the (empty) trajectory with the representative points.
-    for (const LocationKey key : KeysWithSign(delta, +1)) {
+    for (const LocationKey key : keys.pos) {
       const Point q = quantizer_->PointOf(key);
       for (int64_t i = 0; i < delta.at(key); ++i) {
         if (traj->NumPoints() > 0) {
@@ -102,13 +115,31 @@ Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
     return Status::OK();
   }
 
+  // One pass over the live nodes gathers everything the index build needs:
+  // the trajectory's extent, the segment entries, and the occurrence lists
+  // for the keys that shrink.
+  auto handle_of = [](NodeHandle n) {
+    return static_cast<SegmentHandle>(static_cast<uint32_t>(n));
+  };
+  BBox region;
+  std::vector<SegmentEntry> entries;
+  entries.reserve(traj->NumPoints());
+  std::unordered_map<LocationKey, std::vector<NodeHandle>> occurrences;
+  occurrences.reserve(keys.neg.size());
+  for (const NodeHandle n : traj->LiveNodes()) {
+    region.Extend(traj->PointAt(n).p);
+    if (traj->IsSegmentStart(n)) {
+      entries.push_back(
+          SegmentEntry{handle_of(n), traj->id(), traj->SegmentOf(n)});
+    }
+    const LocationKey key = quantizer_->KeyOf(traj->PointAt(n).p);
+    auto it = delta.find(key);
+    if (it != delta.end() && it->second < 0) occurrences[key].push_back(n);
+  }
+
   // Index region: the trajectory's own extent, padded by two snap cells so
   // representative points (cell centroids of this trajectory's locations)
   // always fall strictly inside.
-  BBox region;
-  for (const NodeHandle n : traj->LiveNodes()) {
-    region.Extend(traj->PointAt(n).p);
-  }
   const auto& snap_region = quantizer_->grid().region();
   const double cell = std::max(snap_region.Width(), snap_region.Height()) /
                       static_cast<double>(quantizer_->grid().Resolution(
@@ -121,28 +152,12 @@ Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
 
   GridSpec grid(region, grid_levels_);
   auto index = MakeSegmentIndex(strategy_, grid);
-  auto handle_of = [](NodeHandle n) {
-    return static_cast<SegmentHandle>(static_cast<uint32_t>(n));
-  };
-  for (const NodeHandle n : traj->LiveNodes()) {
-    if (traj->IsSegmentStart(n)) {
-      FRT_RETURN_IF_ERROR(index->Insert(
-          SegmentEntry{handle_of(n), traj->id(), traj->SegmentOf(n)}));
-    }
-  }
-
-  // Occurrence lists for the keys that shrink.
-  std::unordered_map<LocationKey, std::vector<NodeHandle>> occurrences;
-  for (const NodeHandle n : traj->LiveNodes()) {
-    const LocationKey key = quantizer_->KeyOf(traj->PointAt(n).p);
-    auto it = delta.find(key);
-    if (it != delta.end() && it->second < 0) occurrences[key].push_back(n);
-  }
+  FRT_RETURN_IF_ERROR(index->Build(entries));
 
   const uint64_t evals_before = index->distance_evaluations();
 
   // Phase 1: deletions (Def. 10, NS^- comes from the occurrence list).
-  for (const LocationKey key : KeysWithSign(delta, -1)) {
+  for (const LocationKey key : keys.neg) {
     auto it = occurrences.find(key);
     if (it == occurrences.end()) continue;
     stats->utility_loss += GreedyDeleteOccurrences(
@@ -151,7 +166,8 @@ Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
   }
 
   // Phase 2: insertions (Def. 10, NS^+ via K-nearest segment search).
-  for (const LocationKey key : KeysWithSign(delta, +1)) {
+  SearchContext ctx;  // reused across every search of this batch
+  for (const LocationKey key : keys.pos) {
     int64_t remaining = delta.at(key);
     const Point q = quantizer_->PointOf(key);
     while (remaining > 0) {
@@ -179,7 +195,7 @@ Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
       SearchOptions options;
       options.k = static_cast<size_t>(remaining);
       options.group_by = GroupBy::kSegment;
-      const auto neighbors = index->KNearest(q, options);
+      const auto neighbors = index->KNearest(q, options, &ctx);
       ++stats->knn_searches;
       if (neighbors.empty()) break;  // defensive; cannot happen with >=2 pts
       for (const Neighbor& nb : neighbors) {
@@ -206,43 +222,45 @@ Status InterTrajectoryModifier::Apply(std::vector<EditableTrajectory>* trajs,
   }
   if (delta.empty() || trajs->empty()) return Status::OK();
 
+  const SignedKeys keys = SplitKeys(delta);
   auto index = MakeSegmentIndex(strategy_, grid_);
   auto handle_of = [](size_t traj_idx, NodeHandle n) {
     return (static_cast<SegmentHandle>(traj_idx) << 32) |
            static_cast<uint32_t>(n);
   };
 
-  for (size_t i = 0; i < trajs->size(); ++i) {
-    EditableTrajectory& et = (*trajs)[i];
-    for (const NodeHandle n : et.LiveNodes()) {
-      if (et.IsSegmentStart(n)) {
-        FRT_RETURN_IF_ERROR(index->Insert(
-            SegmentEntry{handle_of(i, n), et.id(), et.SegmentOf(n)}));
-      }
-    }
-  }
-
-  // Occurrence lists per (key in delta) per trajectory.
+  // One pass over every trajectory's live nodes gathers the segment
+  // entries for the bulk build, the per-(key, trajectory) occurrence
+  // lists, and the TrajId -> slot mapping for result handling.
+  std::vector<SegmentEntry> entries;
+  size_t total_points = 0;
+  for (const EditableTrajectory& et : *trajs) total_points += et.NumPoints();
+  entries.reserve(total_points);
   std::unordered_map<LocationKey,
                      std::unordered_map<size_t, std::vector<NodeHandle>>>
       occurrences;
+  occurrences.reserve(delta.size());
+  std::unordered_map<TrajId, size_t> slot_of;
+  slot_of.reserve(trajs->size());
   for (size_t i = 0; i < trajs->size(); ++i) {
     EditableTrajectory& et = (*trajs)[i];
+    slot_of[et.id()] = i;
     for (const NodeHandle n : et.LiveNodes()) {
+      if (et.IsSegmentStart(n)) {
+        entries.push_back(
+            SegmentEntry{handle_of(i, n), et.id(), et.SegmentOf(n)});
+      }
       const LocationKey key = quantizer_->KeyOf(et.PointAt(n).p);
       if (delta.count(key) > 0) occurrences[key][i].push_back(n);
     }
   }
-
-  // TrajId -> slot for result handling.
-  std::unordered_map<TrajId, size_t> slot_of;
-  for (size_t i = 0; i < trajs->size(); ++i) slot_of[(*trajs)[i].id()] = i;
+  FRT_RETURN_IF_ERROR(index->Build(entries));
 
   const uint64_t evals_before = index->distance_evaluations();
 
   // Phase 1: TF decreases — complete deletion of the point from the
   // Delta_l trajectories with the smallest total deletion loss (Def. 8).
-  for (const LocationKey key : KeysWithSign(delta, -1)) {
+  for (const LocationKey key : keys.neg) {
     auto oit = occurrences.find(key);
     if (oit == occurrences.end()) continue;
     auto& per_traj = oit->second;
@@ -274,7 +292,8 @@ Status InterTrajectoryModifier::Apply(std::vector<EditableTrajectory>* trajs,
 
   // Phase 2: TF increases — insert the point once into each of the Delta_l
   // nearest trajectories that do not currently contain it (Def. 8).
-  for (const LocationKey key : KeysWithSign(delta, +1)) {
+  SearchContext ctx;  // reused across every search of this batch
+  for (const LocationKey key : keys.pos) {
     const int64_t want = delta.at(key);
     const Point q = quantizer_->PointOf(key);
     std::unordered_set<TrajId> occupied;
@@ -284,13 +303,14 @@ Status InterTrajectoryModifier::Apply(std::vector<EditableTrajectory>* trajs,
         if (!nodes.empty()) occupied.insert((*trajs)[slot].id());
       }
     }
+    const auto eligible = [&occupied](const SegmentEntry& e) {
+      return occupied.count(e.traj) == 0;
+    };
     SearchOptions options;
     options.k = static_cast<size_t>(want);
     options.group_by = GroupBy::kTrajectory;
-    options.filter = [&occupied](const SegmentEntry& e) {
-      return occupied.count(e.traj) == 0;
-    };
-    const auto neighbors = index->KNearest(q, options);
+    options.filter = eligible;
+    const auto neighbors = index->KNearest(q, options, &ctx);
     ++stats->knn_searches;
     for (const Neighbor& nb : neighbors) {
       const size_t slot = slot_of.at(nb.entry.traj);

@@ -4,44 +4,64 @@
 // order, maintains the current best-K according to the grouping mode, and
 // exposes the pruning threshold theta_K (paper Theorem 4): once K results
 // are held, any cell with MINdist > theta_K can be skipped safely.
+//
+// The collector is a reusable scratch object (it lives inside a
+// SearchContext): Reset() rearms it for a new query while keeping every
+// internal buffer's capacity, so steady-state queries never allocate.
+// Candidates are held as pointers into the index's inline entry storage —
+// stable for the duration of a query, copied out only in Finalize.
 
 #ifndef FRT_INDEX_COLLECTOR_H_
 #define FRT_INDEX_COLLECTOR_H_
 
 #include <algorithm>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "index/segment_index.h"
 
 namespace frt {
 
-/// \brief Best-K accumulator for a single KNearest call.
+/// \brief Best-K accumulator, reusable across KNearest calls.
 class ResultCollector {
  public:
-  ResultCollector(size_t k, GroupBy group_by) : k_(k), group_by_(group_by) {}
+  ResultCollector() = default;
+  ResultCollector(size_t k, GroupBy group_by) { Reset(k, group_by); }
+
+  /// Rearms for a new query; previously grown buffers keep their capacity.
+  void Reset(size_t k, GroupBy group_by) {
+    k_ = k;
+    group_by_ = group_by;
+    heap_.clear();
+    items_.clear();
+    traj_threshold_ = std::numeric_limits<double>::infinity();
+    traj_dirty_ = true;
+    if (++epoch_ == 0) {
+      // Epoch wrap (once per 2^32 queries): forget all stale stamps.
+      std::fill(table_.begin(), table_.end(), TrajSlot{});
+      epoch_ = 1;
+    }
+  }
 
   /// Offers a candidate. The caller has already applied the filter.
+  /// `entry` must stay valid until Finalize (it points into the index).
   void Offer(const SegmentEntry& entry, double dist) {
     if (k_ == 0) return;
     if (group_by_ == GroupBy::kSegment) {
       if (heap_.size() < k_) {
-        heap_.push({dist, entry});
-      } else if (dist < heap_.top().dist) {
-        heap_.pop();
-        heap_.push({dist, entry});
+        heap_.push_back(Item{dist, &entry});
+        std::push_heap(heap_.begin(), heap_.end(), WorstFirst{});
+      } else if (dist < heap_.front().dist) {
+        std::pop_heap(heap_.begin(), heap_.end(), WorstFirst{});
+        heap_.back() = Item{dist, &entry};
+        std::push_heap(heap_.begin(), heap_.end(), WorstFirst{});
       }
       return;
     }
     // Trajectory mode: keep each trajectory's best segment.
-    auto it = best_.find(entry.traj);
-    if (it == best_.end()) {
-      best_.emplace(entry.traj, Item{dist, entry});
-      traj_dirty_ = true;
-    } else if (dist < it->second.dist) {
-      it->second = Item{dist, entry};
+    Item& best = BestOf(entry.traj);
+    if (best.entry == nullptr || dist < best.dist) {
+      best = Item{dist, &entry};
       traj_dirty_ = true;
     }
   }
@@ -49,72 +69,133 @@ class ResultCollector {
   /// True when K results are held (threshold is meaningful).
   bool Full() const {
     return group_by_ == GroupBy::kSegment ? heap_.size() >= k_
-                                          : best_.size() >= k_;
+                                          : items_.size() >= k_;
   }
 
   /// theta_K: the K-th best distance; +inf while not Full.
   double Threshold() const {
     if (!Full()) return std::numeric_limits<double>::infinity();
-    if (group_by_ == GroupBy::kSegment) return heap_.top().dist;
+    if (group_by_ == GroupBy::kSegment) return heap_.front().dist;
     RefreshTrajThreshold();
     return traj_threshold_;
   }
 
-  /// Sorted ascending-by-distance final results.
-  std::vector<Neighbor> Finalize() const {
-    std::vector<Neighbor> out;
-    if (group_by_ == GroupBy::kSegment) {
-      auto copy = heap_;
-      while (!copy.empty()) {
-        out.push_back(Neighbor{copy.top().entry, copy.top().dist});
-        copy.pop();
-      }
-    } else {
-      out.reserve(best_.size());
-      for (const auto& [traj, item] : best_) {
-        out.push_back(Neighbor{item.entry, item.dist});
-      }
+  /// Writes the sorted ascending-by-distance final results into `out`
+  /// (cleared first; capacity reused across queries).
+  void Finalize(std::vector<Neighbor>* out) {
+    out->clear();
+    std::vector<Item>& held =
+        group_by_ == GroupBy::kSegment ? heap_ : items_;
+    // The heap property is irrelevant from here on: sort the underlying
+    // storage directly instead of draining a copy of the queue.
+    std::sort(held.begin(), held.end(), [](const Item& a, const Item& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.entry->handle < b.entry->handle;  // deterministic ties
+    });
+    const size_t n = std::min(k_, held.size());
+    out->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(Neighbor{*held[i].entry, held[i].dist});
     }
-    std::sort(out.begin(), out.end(),
-              [](const Neighbor& a, const Neighbor& b) {
-                if (a.dist != b.dist) return a.dist < b.dist;
-                return a.entry.handle < b.entry.handle;  // deterministic ties
-              });
-    if (out.size() > k_) out.resize(k_);
-    return out;
   }
 
  private:
   struct Item {
-    double dist;
-    SegmentEntry entry;
+    double dist = 0.0;
+    const SegmentEntry* entry = nullptr;
   };
   struct WorstFirst {
     bool operator()(const Item& a, const Item& b) const {
       return a.dist < b.dist;  // max-heap on distance
     }
   };
+  /// Open-addressing slot of the trajectory->best table. A slot is live for
+  /// the current query iff `epoch` matches the collector's; Reset just
+  /// bumps the epoch instead of clearing the table.
+  struct TrajSlot {
+    TrajId traj = 0;
+    uint32_t item = 0;   ///< index into items_
+    uint32_t epoch = 0;  ///< 0 is never a live epoch
+  };
+
+  static size_t HashOf(TrajId traj) {
+    uint64_t h = static_cast<uint64_t>(traj);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;  // splitmix finalizer
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+
+  /// Returns the best-Item slot for `traj`, creating it on first sight.
+  Item& BestOf(TrajId traj) {
+    if (table_.empty()) table_.resize(64);
+    size_t mask = table_.size() - 1;
+    size_t i = HashOf(traj) & mask;
+    while (table_[i].epoch == epoch_ && table_[i].traj != traj) {
+      i = (i + 1) & mask;
+    }
+    if (table_[i].epoch != epoch_) {
+      table_[i] = TrajSlot{traj, static_cast<uint32_t>(items_.size()),
+                           epoch_};
+      items_.push_back(Item{});
+      if (items_.size() * 2 > table_.size()) {
+        Grow();
+        return items_[FindLive(traj)];
+      }
+      return items_[table_[i].item];
+    }
+    return items_[table_[i].item];
+  }
+
+  void Grow() {
+    std::vector<TrajSlot> old;
+    old.swap(table_);
+    table_.resize(old.size() * 2);
+    for (const TrajSlot& s : old) {
+      if (s.epoch != epoch_) continue;
+      ReinsertSlot(s);
+    }
+  }
+
+  void ReinsertSlot(const TrajSlot& s) {
+    const size_t mask = table_.size() - 1;
+    size_t i = HashOf(s.traj) & mask;
+    while (table_[i].epoch == epoch_) i = (i + 1) & mask;
+    table_[i] = s;
+  }
+
+  uint32_t FindLive(TrajId traj) const {
+    const size_t mask = table_.size() - 1;
+    size_t i = HashOf(traj) & mask;
+    while (table_[i].epoch != epoch_ || table_[i].traj != traj) {
+      i = (i + 1) & mask;
+    }
+    return table_[i].item;
+  }
 
   void RefreshTrajThreshold() const {
     if (!traj_dirty_) return;
-    // K-th smallest best-distance across trajectories. The map is small in
-    // practice (bounded by trajectories within the search frontier), so a
-    // partial selection is cheap relative to distance evaluations.
+    // K-th smallest best-distance across trajectories. The item list is
+    // small in practice (bounded by trajectories within the search
+    // frontier), so a partial selection is cheap relative to distance
+    // evaluations.
     scratch_.clear();
-    scratch_.reserve(best_.size());
-    for (const auto& [traj, item] : best_) scratch_.push_back(item.dist);
+    scratch_.reserve(items_.size());
+    for (const Item& item : items_) scratch_.push_back(item.dist);
     std::nth_element(scratch_.begin(), scratch_.begin() + (k_ - 1),
                      scratch_.end());
     traj_threshold_ = scratch_[k_ - 1];
     traj_dirty_ = false;
   }
 
-  size_t k_;
-  GroupBy group_by_;
-  // kSegment state:
-  std::priority_queue<Item, std::vector<Item>, WorstFirst> heap_;
-  // kTrajectory state:
-  std::unordered_map<TrajId, Item> best_;
+  size_t k_ = 0;
+  GroupBy group_by_ = GroupBy::kSegment;
+  // kSegment state: max-heap on distance over the best-K items.
+  std::vector<Item> heap_;
+  // kTrajectory state: per-trajectory best items + epoch-stamped
+  // open-addressing lookup table (power-of-two size).
+  std::vector<Item> items_;
+  std::vector<TrajSlot> table_;
+  uint32_t epoch_ = 0;
   mutable std::vector<double> scratch_;
   mutable double traj_threshold_ = std::numeric_limits<double>::infinity();
   mutable bool traj_dirty_ = true;

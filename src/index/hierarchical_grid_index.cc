@@ -1,87 +1,116 @@
 #include "index/hierarchical_grid_index.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_set>
 
-#include "index/collector.h"
+#include "index/search_context.h"
 
 namespace frt {
 
 HierarchicalGridIndex::HierarchicalGridIndex(const GridSpec& grid,
                                              SearchStrategy strategy)
     : grid_(grid), strategy_(strategy) {
-  auto root = std::make_unique<HgCell>();
-  root->coord = CellCoord{0, 0, 0};
-  root_ = root.get();
-  cells_.emplace(root->coord.Key(), std::move(root));
+  root_ = AllocCell(CellCoord{0, 0, 0});
 }
 
-HierarchicalGridIndex::HgCell* HierarchicalGridIndex::FindCell(
-    const CellCoord& coord) const {
-  auto it = cells_.find(coord.Key());
-  return it == cells_.end() ? nullptr : it->second.get();
+uint32_t HierarchicalGridIndex::FindSlot(const CellCoord& coord) const {
+  auto it = slot_of_coord_.find(coord.Key());
+  return it == slot_of_coord_.end() ? kNil : it->second;
 }
 
-HierarchicalGridIndex::HgCell* HierarchicalGridIndex::GetOrCreateCell(
-    const CellCoord& coord) {
-  if (HgCell* found = FindCell(coord)) return found;
+uint32_t HierarchicalGridIndex::AllocCell(const CellCoord& coord) {
+  uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = arena_[slot].parent;
+    arena_[slot].children.clear();
+    arena_[slot].segments.clear();
+  } else {
+    slot = static_cast<uint32_t>(arena_.size());
+    arena_.emplace_back();
+  }
+  HgCell& cell = arena_[slot];
+  cell.coord = coord;
+  cell.parent = kNil;
+  slot_of_coord_.emplace(coord.Key(), slot);
+  return slot;
+}
 
-  auto owned = std::make_unique<HgCell>();
-  owned->coord = coord;
-  HgCell* cell = owned.get();
-  cells_.emplace(coord.Key(), std::move(owned));
+uint32_t HierarchicalGridIndex::GetOrCreateCell(const CellCoord& coord) {
+  if (uint32_t found = FindSlot(coord); found != kNil) return found;
+
+  const uint32_t slot = AllocCell(coord);
 
   // Nearest materialized ancestor (the root always exists).
   CellCoord a = coord.Parent();
-  HgCell* ancestor = nullptr;
-  while ((ancestor = FindCell(a)) == nullptr) a = a.Parent();
+  uint32_t ancestor = kNil;
+  while ((ancestor = FindSlot(a)) == kNil) a = a.Parent();
 
   // Cells currently attached to the ancestor that fall inside the new cell
   // become its children (the parent relation is "nearest materialized
   // enclosing cell", and the new cell now sits between them and `ancestor`).
-  auto& siblings = ancestor->children;
+  HgCell& cell = arena_[slot];
+  auto& siblings = arena_[ancestor].children;
   for (size_t i = 0; i < siblings.size();) {
-    if (coord.IsAncestorOf(siblings[i]->coord)) {
-      siblings[i]->parent = cell;
-      cell->children.push_back(siblings[i]);
+    if (coord.IsAncestorOf(arena_[siblings[i]].coord)) {
+      arena_[siblings[i]].parent = slot;
+      cell.children.push_back(siblings[i]);
       siblings[i] = siblings.back();
       siblings.pop_back();
     } else {
       ++i;
     }
   }
-  cell->parent = ancestor;
-  ancestor->children.push_back(cell);
-  return cell;
+  cell.parent = ancestor;
+  siblings.push_back(slot);
+  return slot;
 }
 
-void HierarchicalGridIndex::MaybePrune(HgCell* cell) {
+void HierarchicalGridIndex::MaybePrune(uint32_t slot) {
   // Splice out cells holding no segments; their children reattach to the
   // parent so only occupied cells stay materialized (plus the root).
   // Non-root cells always hold at least one segment (cells are created by
   // Insert and spliced as soon as their last segment leaves), so at most
   // one splice is needed per removal.
-  if (cell == root_ || !cell->segments.empty()) return;
-  HgCell* parent = cell->parent;
-  auto& siblings = parent->children;
-  siblings.erase(std::find(siblings.begin(), siblings.end(), cell));
-  for (HgCell* child : cell->children) {
-    child->parent = parent;
+  HgCell& cell = arena_[slot];
+  if (slot == root_ || !cell.segments.empty()) return;
+  const uint32_t parent = cell.parent;
+  auto& siblings = arena_[parent].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), slot));
+  for (const uint32_t child : cell.children) {
+    arena_[child].parent = parent;
     siblings.push_back(child);
   }
-  cells_.erase(cell->coord.Key());
+  slot_of_coord_.erase(cell.coord.Key());
+  cell.parent = free_head_;
+  free_head_ = slot;
 }
 
-Status HierarchicalGridIndex::Insert(const SegmentEntry& entry) {
-  auto [it, inserted] = entries_.try_emplace(entry.handle, entry);
+Status HierarchicalGridIndex::InsertImpl(const SegmentEntry& entry) {
+  auto [it, inserted] = cell_of_.try_emplace(entry.handle, kNil);
   if (!inserted) {
     return Status::AlreadyExists("segment handle already indexed");
   }
   const CellCoord coord = grid_.BestFitCell(entry.geom.a, entry.geom.b);
-  HgCell* cell = GetOrCreateCell(coord);
-  cell->segments.push_back(entry.handle);
-  cell_of_[entry.handle] = coord.Key();
+  const uint32_t slot = GetOrCreateCell(coord);
+  arena_[slot].segments.push_back(entry);
+  it->second = slot;
+  return Status::OK();
+}
+
+Status HierarchicalGridIndex::Insert(const SegmentEntry& entry) {
+  return InsertImpl(entry);
+}
+
+Status HierarchicalGridIndex::Build(Span<const SegmentEntry> entries) {
+  cell_of_.reserve(cell_of_.size() + entries.size());
+  // Occupied-cell counts are data-dependent; entries/2 matches the dense
+  // per-trajectory workloads this path serves without overshooting on
+  // wide-area datasets.
+  slot_of_coord_.reserve(slot_of_coord_.size() + entries.size() / 2 + 1);
+  arena_.reserve(arena_.size() + entries.size() / 2 + 1);
+  for (const SegmentEntry& e : entries) {
+    FRT_RETURN_IF_ERROR(InsertImpl(e));
+  }
   return Status::OK();
 }
 
@@ -90,105 +119,115 @@ Status HierarchicalGridIndex::Remove(SegmentHandle handle) {
   if (it == cell_of_.end()) {
     return Status::NotFound("segment handle not indexed");
   }
-  HgCell* cell = cells_.at(it->second).get();
-  auto& segs = cell->segments;
-  auto sit = std::find(segs.begin(), segs.end(), handle);
+  const uint32_t slot = it->second;
+  auto& segs = arena_[slot].segments;
+  auto sit = std::find_if(segs.begin(), segs.end(),
+                          [handle](const SegmentEntry& e) {
+                            return e.handle == handle;
+                          });
   *sit = segs.back();
   segs.pop_back();
   cell_of_.erase(it);
-  entries_.erase(handle);
-  MaybePrune(cell);
+  MaybePrune(slot);
   return Status::OK();
 }
 
-std::vector<SegmentHandle> HierarchicalGridIndex::CellSegments(
+Span<const SegmentEntry> HierarchicalGridIndex::CellSegments(
     const CellCoord& coord) const {
-  const HgCell* cell = FindCell(coord);
-  return cell ? cell->segments : std::vector<SegmentHandle>{};
+  const uint32_t slot = FindSlot(coord);
+  if (slot == kNil) return {};
+  return Span<const SegmentEntry>(arena_[slot].segments);
 }
 
 CellCoord HierarchicalGridIndex::CellParent(const CellCoord& coord) const {
-  const HgCell* cell = FindCell(coord);
-  if (cell == nullptr || cell->parent == nullptr) return root_->coord;
-  return cell->parent->coord;
+  const uint32_t slot = FindSlot(coord);
+  if (slot == kNil || arena_[slot].parent == kNil) {
+    return arena_[root_].coord;
+  }
+  return arena_[arena_[slot].parent].coord;
 }
 
-HierarchicalGridIndex::HgCell* HierarchicalGridIndex::LocateStart(
-    const Point& q) const {
+uint32_t HierarchicalGridIndex::LocateStart(const Point& q) const {
   CellCoord c = grid_.CellAt(q, grid_.finest_level());
   while (true) {
-    if (HgCell* cell = FindCell(c)) return cell;
+    if (uint32_t slot = FindSlot(c); slot != kNil) return slot;
     c = c.Parent();
   }
 }
 
-std::vector<Neighbor> HierarchicalGridIndex::KNearest(
-    const Point& q, const SearchOptions& options) const {
-  if (options.k == 0 || entries_.empty()) return {};
-  switch (strategy_) {
-    case SearchStrategy::kTopDown:
-      return SearchTopDown(q, options);
-    case SearchStrategy::kBottomUp:
-      return SearchBottomUp(q, options, /*switch_to_queue=*/false);
-    case SearchStrategy::kBottomUpDown:
-    default:
-      return SearchBottomUp(q, options, /*switch_to_queue=*/true);
+uint32_t HierarchicalGridIndex::BeginSearch() const {
+  if (++cur_epoch_ == 0) {
+    // Wrap after 2^32 searches: stale stamps could collide with future
+    // epochs, so reset every slot (free-listed ones included).
+    for (HgCell& cell : arena_) cell.epoch = 0;
+    cur_epoch_ = 1;
   }
+  return cur_epoch_;
 }
 
-namespace {
-
-struct CellCandidate {
-  double mindist;
-  const void* cell;  // type-erased HgCell*; avoids exposing the private type
-  bool operator>(const CellCandidate& o) const {
-    return mindist > o.mindist;
+Span<const Neighbor> HierarchicalGridIndex::KNearest(
+    const Point& q, const SearchOptions& options, SearchContext* ctx) const {
+  ctx->collector.Reset(options.k, options.group_by);
+  ctx->results.clear();
+  if (options.k == 0 || cell_of_.empty()) return {};
+  switch (strategy_) {
+    case SearchStrategy::kTopDown:
+      SearchTopDown(q, options, ctx);
+      break;
+    case SearchStrategy::kBottomUp:
+      SearchBottomUp(q, options, /*switch_to_queue=*/false, ctx);
+      break;
+    case SearchStrategy::kBottomUpDown:
+    default:
+      SearchBottomUp(q, options, /*switch_to_queue=*/true, ctx);
+      break;
   }
-};
+  ctx->collector.Finalize(&ctx->results);
+  return Span<const Neighbor>(ctx->results);
+}
 
-}  // namespace
-
-std::vector<Neighbor> HierarchicalGridIndex::SearchTopDown(
-    const Point& q, const SearchOptions& options) const {
-  // Classic best-first descent: priority queue on MINdist from the root.
-  ResultCollector collector(options.k, options.group_by);
-  std::priority_queue<CellCandidate, std::vector<CellCandidate>,
-                      std::greater<CellCandidate>>
-      heap;
-  heap.push({0.0, root_});
+void HierarchicalGridIndex::SearchTopDown(const Point& q,
+                                          const SearchOptions& options,
+                                          SearchContext* ctx) const {
+  // Classic best-first descent: binary heap on MINdist from the root.
+  ResultCollector& collector = ctx->collector;
+  std::vector<CellCandidate>& heap = ctx->heap;
+  heap.clear();
+  heap.push_back({0.0, root_});
   while (!heap.empty()) {
-    const auto [mindist, erased] = heap.top();
-    heap.pop();
-    const HgCell* cell = static_cast<const HgCell*>(erased);
+    std::pop_heap(heap.begin(), heap.end(), CellCandidateGreater{});
+    const CellCandidate cand = heap.back();
+    heap.pop_back();
     // Heap order makes this exact: nothing left can beat theta_K
     // (Theorem 4).
-    if (collector.Full() && mindist > collector.Threshold()) break;
-    for (const SegmentHandle h : cell->segments) {
-      const SegmentEntry& e = entries_.at(h);
+    if (collector.Full() && cand.mindist > collector.Threshold()) break;
+    const HgCell& cell = arena_[cand.slot];
+    for (const SegmentEntry& e : cell.segments) {
       if (options.filter && !options.filter(e)) continue;
       ++dist_evals_;
       collector.Offer(e, PointSegmentDistance(q, e.geom));
     }
-    for (const HgCell* child : cell->children) {
+    for (const uint32_t child : cell.children) {
       const double child_dist =
-          MinDistPointBBox(q, grid_.CellBox(child->coord));
+          MinDistPointBBox(q, grid_.CellBox(arena_[child].coord));
       if (collector.Full() && child_dist > collector.Threshold()) continue;
-      heap.push({child_dist, child});
+      heap.push_back({child_dist, child});
+      std::push_heap(heap.begin(), heap.end(), CellCandidateGreater{});
     }
   }
-  return collector.Finalize();
 }
 
-std::vector<Neighbor> HierarchicalGridIndex::SearchBottomUp(
-    const Point& q, const SearchOptions& options,
-    bool switch_to_queue) const {
+void HierarchicalGridIndex::SearchBottomUp(const Point& q,
+                                           const SearchOptions& options,
+                                           bool switch_to_queue,
+                                           SearchContext* ctx) const {
   // Algorithm 3. Phase 1 ("bottom-up"): a stack ascends from the finest
   // materialized cell containing q; the parent is pushed before the
   // children so finer cells near q are examined first, shrinking theta_K
   // early. Every ancestor of the start cell contains q, so parents are
   // pushed with MINdist 0 and are never pruned — the ascent always reaches
   // the root. Phase 2 ("top-down"): once the root is reached, remaining
-  // candidates move into a priority queue on MINdist, enabling early
+  // candidates move into a binary heap on MINdist, enabling early
   // termination (Theorem 4). With switch_to_queue=false the stack is kept
   // throughout — the HGb competitor of Fig. 5, which cannot terminate early
   // and only benefits from prune-on-pop.
@@ -196,24 +235,30 @@ std::vector<Neighbor> HierarchicalGridIndex::SearchBottomUp(
   // Note: the paper's pseudocode leaves entries stranded on the stack when
   // the root flips the search into queue mode; we transfer them into the
   // queue so no subtree is dropped (required for exactness).
-  ResultCollector collector(options.k, options.group_by);
-  std::unordered_set<const HgCell*> visited;
+  //
+  // "Visited" is an epoch stamp on the arena slot (one uint32 write/read)
+  // rather than a per-query hash set.
+  ResultCollector& collector = ctx->collector;
+  const uint32_t epoch = BeginSearch();
+  const auto visited = [&](uint32_t slot) {
+    return arena_[slot].epoch == epoch;
+  };
 
-  std::vector<CellCandidate> stack;      // S_g
-  std::priority_queue<CellCandidate, std::vector<CellCandidate>,
-                      std::greater<CellCandidate>>
-      queue;                             // Q_g
+  std::vector<CellCandidate>& stack = ctx->stack;  // S_g
+  std::vector<CellCandidate>& queue = ctx->heap;   // Q_g
+  stack.clear();
+  queue.clear();
   bool root_access = false;
 
-  const HgCell* start = LocateStart(q);
-  stack.push_back({0.0, start});
+  stack.push_back({0.0, LocateStart(q)});
 
-  auto push_candidate = [&](const HgCell* cell, double mindist) {
-    if (visited.count(cell) > 0) return;
+  const auto push_candidate = [&](uint32_t slot, double mindist) {
+    if (visited(slot)) return;
     if (!root_access) {
-      stack.push_back({mindist, cell});
+      stack.push_back({mindist, slot});
     } else {
-      queue.push({mindist, cell});
+      queue.push_back({mindist, slot});
+      std::push_heap(queue.begin(), queue.end(), CellCandidateGreater{});
     }
   };
 
@@ -222,26 +267,24 @@ std::vector<Neighbor> HierarchicalGridIndex::SearchBottomUp(
     if (!root_access) {
       cand = stack.back();
       stack.pop_back();
-      const HgCell* cell = static_cast<const HgCell*>(cand.cell);
-      if (visited.count(cell) > 0) continue;
+      if (visited(cand.slot)) continue;
       // Prune-on-pop (cannot break: the stack is unordered).
       if (collector.Full() && cand.mindist > collector.Threshold()) {
-        visited.insert(cell);  // its subtree is provably uninteresting
+        arena_[cand.slot].epoch = epoch;  // subtree provably uninteresting
         continue;
       }
     } else {
-      cand = queue.top();
-      queue.pop();
-      const HgCell* cell = static_cast<const HgCell*>(cand.cell);
-      if (visited.count(cell) > 0) continue;
+      std::pop_heap(queue.begin(), queue.end(), CellCandidateGreater{});
+      cand = queue.back();
+      queue.pop_back();
+      if (visited(cand.slot)) continue;
       // Ordered pops allow exact early termination.
       if (collector.Full() && cand.mindist > collector.Threshold()) break;
     }
-    const HgCell* cell = static_cast<const HgCell*>(cand.cell);
-    visited.insert(cell);
+    HgCell& cell = arena_[cand.slot];
+    cell.epoch = epoch;
 
-    for (const SegmentHandle h : cell->segments) {
-      const SegmentEntry& e = entries_.at(h);
+    for (const SegmentEntry& e : cell.segments) {
       if (options.filter && !options.filter(e)) continue;
       ++dist_evals_;
       collector.Offer(e, PointSegmentDistance(q, e.geom));
@@ -250,29 +293,30 @@ std::vector<Neighbor> HierarchicalGridIndex::SearchBottomUp(
     // Push the parent first (ancestors contain q; MINdist 0), then the
     // children, so LIFO order examines fine cells near q before coarser
     // ones (paper §IV-C2).
-    if (cell->parent != nullptr && visited.count(cell->parent) == 0) {
-      if (switch_to_queue && !root_access && cell->parent == root_) {
+    if (cell.parent != kNil && !visited(cell.parent)) {
+      if (switch_to_queue && !root_access && cell.parent == root_) {
         root_access = true;
-        queue.push({0.0, root_});
+        queue.push_back({0.0, root_});
+        std::push_heap(queue.begin(), queue.end(), CellCandidateGreater{});
         // Transfer stranded stack entries so phase 2 still sees them.
         for (const CellCandidate& c : stack) {
-          const HgCell* sc = static_cast<const HgCell*>(c.cell);
-          if (visited.count(sc) == 0) queue.push(c);
+          if (visited(c.slot)) continue;
+          queue.push_back(c);
+          std::push_heap(queue.begin(), queue.end(), CellCandidateGreater{});
         }
         stack.clear();
       } else {
-        push_candidate(cell->parent, 0.0);
+        push_candidate(cell.parent, 0.0);
       }
     }
-    for (const HgCell* child : cell->children) {
-      if (visited.count(child) > 0) continue;
+    for (const uint32_t child : cell.children) {
+      if (visited(child)) continue;
       const double child_dist =
-          MinDistPointBBox(q, grid_.CellBox(child->coord));
+          MinDistPointBBox(q, grid_.CellBox(arena_[child].coord));
       if (collector.Full() && child_dist > collector.Threshold()) continue;
       push_candidate(child, child_dist);
     }
   }
-  return collector.Finalize();
 }
 
 }  // namespace frt

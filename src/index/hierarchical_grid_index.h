@@ -11,6 +11,13 @@
 // occupied cells. The root (level 0) is always materialized so every search
 // has an anchor.
 //
+// Layout (see src/index/README.md). Cells live in a flat arena
+// (std::vector) addressed by 32-bit slots; freed slots are recycled through
+// a free list threaded through the parent field. Segment entries are stored
+// *inline* in their cell's segment vector, so the search loops touch no
+// hash table. Searches mark visited cells with an epoch stamp on the arena
+// slot instead of building a per-query visited set.
+//
 // Updates. Insert creates the best-fit cell on demand and re-parents any
 // existing cells that fall inside it; Remove splices empty cells out. This
 // keeps the index valid across the edit batches of trajectory modification
@@ -19,7 +26,6 @@
 #ifndef FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_
 #define FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_
 
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -37,25 +43,27 @@ class HierarchicalGridIndex : public SegmentIndex {
   HierarchicalGridIndex(const GridSpec& grid, SearchStrategy strategy);
 
   Status Insert(const SegmentEntry& entry) override;
+  Status Build(Span<const SegmentEntry> entries) override;
   Status Remove(SegmentHandle handle) override;
-  std::vector<Neighbor> KNearest(const Point& q,
-                                 const SearchOptions& options) const override;
-  size_t size() const override { return entries_.size(); }
+  using SegmentIndex::KNearest;
+  Span<const Neighbor> KNearest(const Point& q, const SearchOptions& options,
+                                SearchContext* ctx) const override;
+  size_t size() const override { return cell_of_.size(); }
   uint64_t distance_evaluations() const override { return dist_evals_; }
 
   // --- introspection (tests / diagnostics) ---
 
   /// Number of materialized cells (including the root).
-  size_t NumCells() const { return cells_.size(); }
+  size_t NumCells() const { return slot_of_coord_.size(); }
 
   /// Best-fit cell coordinate for a segment (Definition 11).
   CellCoord BestFit(const Segment& s) const {
     return grid_.BestFitCell(s.a, s.b);
   }
 
-  /// Segment handles stored in the cell at `coord`; empty when the cell is
-  /// not materialized.
-  std::vector<SegmentHandle> CellSegments(const CellCoord& coord) const;
+  /// Entries stored in the cell at `coord`, by reference into the index;
+  /// empty when the cell is not materialized. Invalidated by updates.
+  Span<const SegmentEntry> CellSegments(const CellCoord& coord) const;
 
   /// Coordinate of the materialized parent of the cell at `coord`.
   /// Returns the root coordinate when `coord` is the root or unknown.
@@ -65,34 +73,48 @@ class HierarchicalGridIndex : public SegmentIndex {
   SearchStrategy strategy() const { return strategy_; }
 
  private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  /// One arena slot. Freed slots keep their vectors' capacity and are
+  /// chained through `parent` (the free list), so cell churn under heavy
+  /// update load reuses storage instead of reallocating.
   struct HgCell {
     CellCoord coord;
-    std::vector<SegmentHandle> segments;
-    HgCell* parent = nullptr;
-    std::vector<HgCell*> children;
+    uint32_t parent = kNil;            ///< arena slot; free-list link when dead
+    std::vector<uint32_t> children;    ///< arena slots
+    std::vector<SegmentEntry> segments;  ///< inline entries (Def. 11 residents)
+    uint32_t epoch = 0;                ///< visited stamp of the last search
   };
 
-  HgCell* FindCell(const CellCoord& coord) const;
-  HgCell* GetOrCreateCell(const CellCoord& coord);
-  void MaybePrune(HgCell* cell);
+  uint32_t FindSlot(const CellCoord& coord) const;
+  uint32_t AllocCell(const CellCoord& coord);
+  uint32_t GetOrCreateCell(const CellCoord& coord);
+  void MaybePrune(uint32_t slot);
+  Status InsertImpl(const SegmentEntry& entry);
 
   /// The materialized cell the bottom-up phase starts from: the nearest
   /// materialized ancestor of the finest-level cell containing q
   /// (Algorithm 3 line 1, LocatePoint).
-  HgCell* LocateStart(const Point& q) const;
+  uint32_t LocateStart(const Point& q) const;
 
-  std::vector<Neighbor> SearchTopDown(const Point& q,
-                                      const SearchOptions& options) const;
-  std::vector<Neighbor> SearchBottomUp(const Point& q,
-                                       const SearchOptions& options,
-                                       bool switch_to_queue) const;
+  /// Begins a search: bumps the visited epoch (resetting all stamps on the
+  /// rare wrap) and returns the stamp marking this search's cells.
+  uint32_t BeginSearch() const;
+
+  void SearchTopDown(const Point& q, const SearchOptions& options,
+                     SearchContext* ctx) const;
+  void SearchBottomUp(const Point& q, const SearchOptions& options,
+                      bool switch_to_queue, SearchContext* ctx) const;
 
   GridSpec grid_;
   SearchStrategy strategy_;
-  std::unordered_map<uint64_t, std::unique_ptr<HgCell>> cells_;
-  std::unordered_map<SegmentHandle, SegmentEntry> entries_;
-  std::unordered_map<SegmentHandle, uint64_t> cell_of_;
-  HgCell* root_ = nullptr;
+  /// mutable: const searches write only the per-cell `epoch` stamps.
+  mutable std::vector<HgCell> arena_;
+  uint32_t free_head_ = kNil;
+  std::unordered_map<uint64_t, uint32_t> slot_of_coord_;
+  std::unordered_map<SegmentHandle, uint32_t> cell_of_;
+  uint32_t root_ = 0;
+  mutable uint32_t cur_epoch_ = 0;
   mutable uint64_t dist_evals_ = 0;
 };
 

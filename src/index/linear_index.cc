@@ -1,6 +1,6 @@
 #include "index/linear_index.h"
 
-#include "index/collector.h"
+#include "index/search_context.h"
 
 namespace frt {
 
@@ -10,6 +10,15 @@ Status LinearSegmentIndex::Insert(const SegmentEntry& entry) {
     return Status::AlreadyExists("segment handle already indexed");
   }
   entries_.push_back(entry);
+  return Status::OK();
+}
+
+Status LinearSegmentIndex::Build(Span<const SegmentEntry> entries) {
+  slot_of_.reserve(slot_of_.size() + entries.size());
+  entries_.reserve(entries_.size() + entries.size());
+  for (const SegmentEntry& e : entries) {
+    FRT_RETURN_IF_ERROR(Insert(e));
+  }
   return Status::OK();
 }
 
@@ -28,15 +37,18 @@ Status LinearSegmentIndex::Remove(SegmentHandle handle) {
   return Status::OK();
 }
 
-std::vector<Neighbor> LinearSegmentIndex::KNearest(
-    const Point& q, const SearchOptions& options) const {
-  ResultCollector collector(options.k, options.group_by);
+Span<const Neighbor> LinearSegmentIndex::KNearest(
+    const Point& q, const SearchOptions& options, SearchContext* ctx) const {
+  ResultCollector& collector = ctx->collector;
+  collector.Reset(options.k, options.group_by);
+  ctx->results.clear();
   for (const SegmentEntry& e : entries_) {
     if (options.filter && !options.filter(e)) continue;
     ++dist_evals_;
     collector.Offer(e, PointSegmentDistance(q, e.geom));
   }
-  return collector.Finalize();
+  collector.Finalize(&ctx->results);
+  return Span<const Neighbor>(ctx->results);
 }
 
 }  // namespace frt

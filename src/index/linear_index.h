@@ -1,5 +1,7 @@
 // Linear-scan segment index: the correctness reference and the Fig. 5
-// "Linear" competitor. O(n) per query, O(1) updates.
+// "Linear" competitor. O(n) per query, O(1) updates. Entries are stored
+// inline in one flat vector (swap-erase removal), so the scan is a single
+// sequential pass.
 
 #ifndef FRT_INDEX_LINEAR_INDEX_H_
 #define FRT_INDEX_LINEAR_INDEX_H_
@@ -15,9 +17,11 @@ namespace frt {
 class LinearSegmentIndex : public SegmentIndex {
  public:
   Status Insert(const SegmentEntry& entry) override;
+  Status Build(Span<const SegmentEntry> entries) override;
   Status Remove(SegmentHandle handle) override;
-  std::vector<Neighbor> KNearest(const Point& q,
-                                 const SearchOptions& options) const override;
+  using SegmentIndex::KNearest;
+  Span<const Neighbor> KNearest(const Point& q, const SearchOptions& options,
+                                SearchContext* ctx) const override;
   size_t size() const override { return entries_.size(); }
   uint64_t distance_evaluations() const override { return dist_evals_; }
 

@@ -1,0 +1,58 @@
+// SearchContext: the reusable scratch object behind allocation-free
+// KNearest calls (declared in index/segment_index.h).
+//
+// A context owns every buffer a search needs — the best-K collector, the
+// traversal frontier (stack + binary heap over arena slots), and the
+// result vector the returned span points into. Reusing one context across
+// queries means all of them keep their high-water-mark capacity, so a warm
+// context performs zero heap allocations per query.
+//
+// Contract: NOT thread-safe; use one context per thread. A context may be
+// freely reused across different indexes and strategies. Results from
+// KNearest(q, options, ctx) alias ctx->results and die at the next search
+// through the same context.
+
+#ifndef FRT_INDEX_SEARCH_CONTEXT_H_
+#define FRT_INDEX_SEARCH_CONTEXT_H_
+
+#include <vector>
+
+#include "index/collector.h"
+#include "index/segment_index.h"
+
+namespace frt {
+
+/// A prioritized traversal candidate: an arena slot and the lower bound on
+/// the distance from the query to anything stored in that cell's subtree.
+struct CellCandidate {
+  double mindist = 0.0;
+  uint32_t slot = 0;
+};
+
+/// Min-heap comparator on MINdist (mirrors the former
+/// priority_queue<..., std::greater<>> ordering exactly, so traversal
+/// order — and hence the distance-evaluation counts — is unchanged).
+struct CellCandidateGreater {
+  bool operator()(const CellCandidate& a, const CellCandidate& b) const {
+    return a.mindist > b.mindist;
+  }
+};
+
+class SearchContext {
+ public:
+  SearchContext() = default;
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  // Scratch state below is owned by the index implementation for the
+  // duration of one KNearest call; treat it as opaque elsewhere.
+
+  ResultCollector collector;
+  std::vector<CellCandidate> stack;  ///< S_g: bottom-up ascent (HGb/HG+)
+  std::vector<CellCandidate> heap;   ///< Q_g: best-first frontier (binary heap)
+  std::vector<Neighbor> results;     ///< storage behind the returned span
+};
+
+}  // namespace frt
+
+#endif  // FRT_INDEX_SEARCH_CONTEXT_H_

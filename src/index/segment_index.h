@@ -14,18 +14,20 @@
 // Implementations: linear scan (baseline), single-level uniform grid (UG),
 // and the paper's hierarchical grid (HG) with three search strategies:
 // top-down best-first (HGt), bottom-up (HGb) and the paper's novel
-// bottom-up-down (HG+, Algorithm 3).
+// bottom-up-down (HG+, Algorithm 3). See src/index/README.md for the
+// data-oriented layout shared by the implementations.
 
 #ifndef FRT_INDEX_SEGMENT_INDEX_H_
 #define FRT_INDEX_SEGMENT_INDEX_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/result.h"
+#include "common/span.h"
 #include "geo/grid.h"
 #include "geo/segment.h"
 #include "traj/trajectory.h"
@@ -75,8 +77,21 @@ struct SearchOptions {
   GroupBy group_by = GroupBy::kSegment;
   /// Optional eligibility predicate; ineligible segments are skipped
   /// entirely (they neither appear in results nor tighten the threshold).
-  std::function<bool(const SegmentEntry&)> filter;
+  /// Non-owning: the callable must be a named object that outlives the
+  /// KNearest call (see common/function_ref.h).
+  FunctionRef<bool(const SegmentEntry&)> filter;
 };
+
+/// \brief Reusable per-thread scratch state for KNearest calls.
+///
+/// Holds the collector, traversal frontier, and result buffers so
+/// steady-state queries allocate nothing. Not thread-safe: use one context
+/// per thread, never concurrently. Results returned by the
+/// KNearest(..., SearchContext*) overload live inside the context and are
+/// invalidated by the next search using it. Defined in
+/// index/search_context.h; callers that only use the allocating overload
+/// never need the definition.
+class SearchContext;
 
 /// \brief Interface of a dynamic segment index.
 class SegmentIndex {
@@ -86,15 +101,28 @@ class SegmentIndex {
   /// Inserts a segment. Handles must be unique.
   virtual Status Insert(const SegmentEntry& entry) = 0;
 
+  /// Bulk-loads `entries` into the index. Equivalent to inserting them in
+  /// order, but lets implementations pre-size their storage; the
+  /// per-trajectory throwaway indexes of IntraTrajectoryModifier::Apply are
+  /// built through this path. Stops at the first failure.
+  virtual Status Build(Span<const SegmentEntry> entries);
+
   /// Removes a previously inserted segment.
   virtual Status Remove(SegmentHandle handle) = 0;
 
-  /// K-nearest search around `q`. Results are sorted by ascending distance;
-  /// fewer than k results are returned when the index runs out of eligible
-  /// candidates.
-  virtual std::vector<Neighbor> KNearest(const Point& q,
-                                         const SearchOptions& options)
-      const = 0;
+  /// K-nearest search around `q` using caller-provided scratch state.
+  /// Results are sorted by ascending distance; fewer than k results are
+  /// returned when the index runs out of eligible candidates. The returned
+  /// span points into `ctx` and is valid until the next search through the
+  /// same context. With a warm context this performs no heap allocation.
+  virtual Span<const Neighbor> KNearest(const Point& q,
+                                        const SearchOptions& options,
+                                        SearchContext* ctx) const = 0;
+
+  /// Convenience overload: runs through a thread-local context and copies
+  /// the results out (one allocation for the returned vector).
+  std::vector<Neighbor> KNearest(const Point& q,
+                                 const SearchOptions& options) const;
 
   /// Number of live segments.
   virtual size_t size() const = 0;

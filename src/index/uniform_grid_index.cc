@@ -3,62 +3,90 @@
 #include <algorithm>
 #include <cmath>
 
-#include "index/collector.h"
+#include "index/search_context.h"
 
 namespace frt {
 
 UniformGridIndex::UniformGridIndex(const GridSpec& grid)
     : grid_(grid), level_(grid.finest_level()) {}
 
-std::vector<CellCoord> UniformGridIndex::CoveredCells(
-    const Segment& s) const {
+template <typename Fn>
+void UniformGridIndex::ForEachCoveredCell(const Segment& s, Fn&& fn) const {
   const CellCoord ca = grid_.CellAt(s.a, level_);
   const CellCoord cb = grid_.CellAt(s.b, level_);
-  std::vector<CellCoord> out;
   const int32_t x0 = std::min(ca.ix, cb.ix);
   const int32_t x1 = std::max(ca.ix, cb.ix);
   const int32_t y0 = std::min(ca.iy, cb.iy);
   const int32_t y1 = std::max(ca.iy, cb.iy);
-  out.reserve(static_cast<size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
   for (int32_t x = x0; x <= x1; ++x) {
     for (int32_t y = y0; y <= y1; ++y) {
-      out.push_back(CellCoord{level_, x, y});
+      fn(CellCoord{level_, x, y}.Key());
     }
   }
-  return out;
 }
 
 Status UniformGridIndex::Insert(const SegmentEntry& entry) {
-  auto [it, inserted] = entries_.try_emplace(entry.handle, entry);
+  auto [it, inserted] = slot_of_.try_emplace(entry.handle, 0u);
   if (!inserted) {
     return Status::AlreadyExists("segment handle already indexed");
   }
-  for (const CellCoord& c : CoveredCells(entry.geom)) {
-    cells_[c.Key()].push_back(entry.handle);
+  uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = store_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(store_.size());
+    store_.emplace_back();
+  }
+  store_[slot].entry = entry;
+  it->second = slot;
+  ForEachCoveredCell(entry.geom,
+                     [&](uint64_t key) { cells_[key].push_back(slot); });
+  return Status::OK();
+}
+
+Status UniformGridIndex::Build(Span<const SegmentEntry> entries) {
+  slot_of_.reserve(slot_of_.size() + entries.size());
+  store_.reserve(store_.size() + entries.size());
+  for (const SegmentEntry& e : entries) {
+    FRT_RETURN_IF_ERROR(Insert(e));
   }
   return Status::OK();
 }
 
 Status UniformGridIndex::Remove(SegmentHandle handle) {
-  auto it = entries_.find(handle);
-  if (it == entries_.end()) {
+  auto it = slot_of_.find(handle);
+  if (it == slot_of_.end()) {
     return Status::NotFound("segment handle not indexed");
   }
-  for (const CellCoord& c : CoveredCells(it->second.geom)) {
-    auto cit = cells_.find(c.Key());
-    if (cit == cells_.end()) continue;
+  const uint32_t slot = it->second;
+  ForEachCoveredCell(store_[slot].entry.geom, [&](uint64_t key) {
+    auto cit = cells_.find(key);
+    if (cit == cells_.end()) return;
     auto& v = cit->second;
-    v.erase(std::remove(v.begin(), v.end(), handle), v.end());
+    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
     if (v.empty()) cells_.erase(cit);
-  }
-  entries_.erase(it);
+  });
+  slot_of_.erase(it);
+  store_[slot].next_free = free_head_;
+  free_head_ = slot;
   return Status::OK();
 }
 
-std::vector<Neighbor> UniformGridIndex::KNearest(
-    const Point& q, const SearchOptions& options) const {
-  ResultCollector collector(options.k, options.group_by);
-  if (entries_.empty() || options.k == 0) return collector.Finalize();
+Span<const Neighbor> UniformGridIndex::KNearest(const Point& q,
+                                                const SearchOptions& options,
+                                                SearchContext* ctx) const {
+  ResultCollector& collector = ctx->collector;
+  collector.Reset(options.k, options.group_by);
+  ctx->results.clear();
+  if (slot_of_.empty() || options.k == 0) return {};
+
+  if (++cur_epoch_ == 0) {
+    // Wrap after 2^32 searches: reset every dedup stamp.
+    for (StoredEntry& se : store_) se.epoch = 0;
+    cur_epoch_ = 1;
+  }
+  const uint32_t epoch = cur_epoch_;
 
   const int64_t n = grid_.Resolution(level_);
   const double cell_w =
@@ -68,7 +96,6 @@ std::vector<Neighbor> UniformGridIndex::KNearest(
   const double cell_min = std::min(cell_w, cell_h);
   const CellCoord c0 = grid_.CellAt(q, level_);
 
-  std::unordered_set<SegmentHandle> seen;
   const int max_radius = static_cast<int>(n);  // covers the whole grid
   for (int radius = 0; radius <= max_radius; ++radius) {
     // Lower bound on the distance from q to any cell in this ring.
@@ -84,17 +111,19 @@ std::vector<Neighbor> UniformGridIndex::KNearest(
         if (x < 0 || y < 0 || x >= n || y >= n) continue;
         auto it = cells_.find(CellCoord{level_, x, y}.Key());
         if (it == cells_.end()) continue;
-        for (const SegmentHandle h : it->second) {
-          if (!seen.insert(h).second) continue;  // dedup multi-cell segments
-          const SegmentEntry& e = entries_.at(h);
-          if (options.filter && !options.filter(e)) continue;
+        for (const uint32_t slot : it->second) {
+          StoredEntry& se = store_[slot];
+          if (se.epoch == epoch) continue;  // dedup multi-cell segments
+          se.epoch = epoch;
+          if (options.filter && !options.filter(se.entry)) continue;
           ++dist_evals_;
-          collector.Offer(e, PointSegmentDistance(q, e.geom));
+          collector.Offer(se.entry, PointSegmentDistance(q, se.entry.geom));
         }
       }
     }
   }
-  return collector.Finalize();
+  collector.Finalize(&ctx->results);
+  return Span<const Neighbor>(ctx->results);
 }
 
 }  // namespace frt

@@ -4,12 +4,16 @@
 // (duplication instead of hierarchy). KNearest runs an expanding-ring
 // search: ring r has a lower bound of (r-1) * cell_extent from the query,
 // so the search stops once the collector threshold beats the next ring.
+//
+// Layout. Entries live in a flat slot store (recycled through a free list);
+// cells hold 32-bit slot indices, so the ring scan reads entries without a
+// hash lookup per candidate. Multi-cell duplicates are deduplicated with an
+// epoch stamp on the store slot instead of a per-query hash set.
 
 #ifndef FRT_INDEX_UNIFORM_GRID_INDEX_H_
 #define FRT_INDEX_UNIFORM_GRID_INDEX_H_
 
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "geo/grid.h"
@@ -23,21 +27,39 @@ class UniformGridIndex : public SegmentIndex {
   explicit UniformGridIndex(const GridSpec& grid);
 
   Status Insert(const SegmentEntry& entry) override;
+  Status Build(Span<const SegmentEntry> entries) override;
   Status Remove(SegmentHandle handle) override;
-  std::vector<Neighbor> KNearest(const Point& q,
-                                 const SearchOptions& options) const override;
-  size_t size() const override { return entries_.size(); }
+  using SegmentIndex::KNearest;
+  Span<const Neighbor> KNearest(const Point& q, const SearchOptions& options,
+                                SearchContext* ctx) const override;
+  size_t size() const override { return slot_of_.size(); }
   uint64_t distance_evaluations() const override { return dist_evals_; }
 
  private:
-  /// Cells (at the finest level) covered by the segment's bounding box.
-  std::vector<CellCoord> CoveredCells(const Segment& s) const;
+  /// One slot of the entry store; `epoch` deduplicates multi-cell segments
+  /// within a single search.
+  struct StoredEntry {
+    SegmentEntry entry;
+    uint32_t epoch = 0;
+    uint32_t next_free = 0;  ///< free-list link while the slot is dead
+  };
+
+  /// Calls `fn(key)` for every finest-level cell key covered by the
+  /// segment's bounding box.
+  template <typename Fn>
+  void ForEachCoveredCell(const Segment& s, Fn&& fn) const;
 
   GridSpec grid_;
   int level_;
-  std::unordered_map<SegmentHandle, SegmentEntry> entries_;
-  std::unordered_map<uint64_t, std::vector<SegmentHandle>> cells_;
+  /// mutable: const searches write only the per-slot `epoch` stamps.
+  mutable std::vector<StoredEntry> store_;
+  uint32_t free_head_ = kNil;
+  std::unordered_map<SegmentHandle, uint32_t> slot_of_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+  mutable uint32_t cur_epoch_ = 0;
   mutable uint64_t dist_evals_ = 0;
+
+  static constexpr uint32_t kNil = 0xffffffffu;
 };
 
 }  // namespace frt

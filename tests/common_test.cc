@@ -1,12 +1,16 @@
-// Unit tests for src/common: Status, Result, Rng, strings.
+// Unit tests for src/common: Status, Result, Rng, strings, FunctionRef,
+// Span.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "common/function_ref.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "common/strings.h"
 
@@ -274,6 +278,82 @@ TEST(StringsTest, StrFormat) {
 TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(StartsWith("RSC-0.5", "RSC"));
   EXPECT_FALSE(StartsWith("SC", "RSC"));
+}
+
+// ---------------- FunctionRef ----------------
+
+int FreeTwice(int x) { return 2 * x; }
+
+TEST(FunctionRefTest, DefaultIsNull) {
+  FunctionRef<int(int)> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  FunctionRef<int(int)> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(FunctionRefTest, BindsNamedLambda) {
+  int calls = 0;
+  auto add = [&calls](int x) {
+    ++calls;
+    return x + 1;
+  };
+  FunctionRef<int(int)> f = add;
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(41), 42);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(FunctionRefTest, BindsConstLambdaAndFunctionPointer) {
+  const auto square = [](int x) { return x * x; };
+  FunctionRef<int(int)> f = square;
+  EXPECT_EQ(f(7), 49);
+  FunctionRef<int(int)> g = FreeTwice;
+  EXPECT_EQ(g(21), 42);
+}
+
+TEST(FunctionRefTest, CopyRefersToSameCallable) {
+  int hits = 0;
+  auto bump = [&hits](int) {
+    ++hits;
+    return 0;
+  };
+  FunctionRef<int(int)> f = bump;
+  FunctionRef<int(int)> g = f;
+  (void)f(0);
+  (void)g(0);
+  EXPECT_EQ(hits, 2);
+}
+
+// ---------------- Span ----------------
+
+TEST(SpanTest, DefaultIsEmpty) {
+  Span<const int> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.begin(), s.end());
+}
+
+TEST(SpanTest, ViewsVectorWithoutCopy) {
+  std::vector<int> v = {1, 2, 3};
+  Span<const int> s = v;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.data(), v.data());
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s.front(), 1);
+  EXPECT_EQ(s.back(), 3);
+  int sum = 0;
+  for (const int x : s) sum += x;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(SpanTest, MutableSpanWritesThrough) {
+  std::vector<int> v = {1, 2, 3};
+  Span<int> s = v;
+  s[1] = 20;
+  EXPECT_EQ(v[1], 20);
+  Span<const int> sub(s.data() + 1, 2);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0], 20);
 }
 
 }  // namespace

@@ -1,15 +1,21 @@
 // Tests for src/index: structural unit tests of the hierarchical grid and a
 // parameterized property suite asserting that every search strategy (UG,
 // HGt, HGb, HG+) returns results cost-equivalent to the linear scan, under
-// both grouping modes, with filters, and across dynamic updates.
+// both grouping modes, with filters, and across dynamic updates — including
+// a randomized interleaved-update property test with reused SearchContexts,
+// the exactness guard for the arena/epoch layout.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "index/hierarchical_grid_index.h"
+#include "index/search_context.h"
 #include "index/segment_index.h"
 
 namespace frt {
@@ -62,9 +68,13 @@ TEST(HierarchicalGridTest, BestFitAssignment) {
   const CellCoord tiny_cell = index.BestFit(tiny.geom);
   EXPECT_EQ(tiny_cell.level, 9);
   EXPECT_EQ(index.BestFit(wide.geom).level, 0);
-  EXPECT_EQ(index.CellSegments(tiny_cell), std::vector<SegmentHandle>{1});
-  EXPECT_EQ(index.CellSegments(CellCoord{0, 0, 0}),
-            std::vector<SegmentHandle>{2});
+  const auto tiny_segs = index.CellSegments(tiny_cell);
+  ASSERT_EQ(tiny_segs.size(), 1u);
+  EXPECT_EQ(tiny_segs[0].handle, 1u);
+  const auto root_segs = index.CellSegments(CellCoord{0, 0, 0});
+  ASSERT_EQ(root_segs.size(), 1u);
+  EXPECT_EQ(root_segs[0].handle, 2u);
+  EXPECT_TRUE(index.CellSegments(CellCoord{5, 3, 3}).empty());
 }
 
 TEST(HierarchicalGridTest, ParentLinksSkipEmptyLevels) {
@@ -204,9 +214,10 @@ TEST_P(StrategyEquivalenceTest, FilterExcludesIneligibleSegments) {
     ASSERT_TRUE(index->Insert(e).ok());
     ASSERT_TRUE(linear->Insert(e).ok());
   }
+  const auto not_traj3 = [](const SegmentEntry& e) { return e.traj != 3; };
   SearchOptions options;
   options.k = 10;
-  options.filter = [](const SegmentEntry& e) { return e.traj != 3; };
+  options.filter = not_traj3;
   for (int trial = 0; trial < 10; ++trial) {
     const Point q{rng.Uniform(0, kRegionSize), rng.Uniform(0, kRegionSize)};
     const auto got = index->KNearest(q, options);
@@ -290,6 +301,131 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---------------- randomized interleaved-update property test ------------
+//
+// The exactness guard for the arena/epoch-stamp layout: on randomized
+// segment sets with interleaved Insert/Remove, every strategy must return
+// results identical to kLinear — under both GroupBy modes, with and
+// without a filter, and with each index's SearchContext reused across all
+// queries (so stale scratch state from a previous query, mode, or k would
+// be caught immediately).
+TEST(StrategyEquivalencePropertyTest, InterleavedUpdatesAllModesReusedCtx) {
+  Rng rng(7777);
+  const std::vector<SearchStrategy> all = {
+      SearchStrategy::kLinear, SearchStrategy::kUniformGrid,
+      SearchStrategy::kTopDown, SearchStrategy::kBottomUp,
+      SearchStrategy::kBottomUpDown};
+  std::vector<std::unique_ptr<SegmentIndex>> indexes;
+  // One long-lived context per index, shared by every query below.
+  std::vector<std::unique_ptr<SearchContext>> contexts;
+  for (const SearchStrategy s : all) {
+    indexes.push_back(MakeSegmentIndex(s, TestGrid()));
+    contexts.push_back(std::make_unique<SearchContext>());
+  }
+  SegmentIndex& linear = *indexes[0];
+  SearchContext& linear_ctx = *contexts[0];
+
+  std::vector<SegmentHandle> live;
+  SegmentHandle next = 0;
+  for (int round = 0; round < 10; ++round) {
+    // Interleave: a burst of inserts, then a random batch of removals.
+    const size_t inserts = 50 + rng.UniformInt(uint64_t{200});
+    for (size_t i = 0; i < inserts; ++i) {
+      const SegmentEntry e = RandomSegment(next, next % 23, rng);
+      for (auto& index : indexes) {
+        ASSERT_TRUE(index->Insert(e).ok());
+      }
+      live.push_back(next);
+      ++next;
+    }
+    const size_t removals = rng.UniformInt(uint64_t{live.size() / 2 + 1});
+    for (size_t i = 0; i < removals; ++i) {
+      const size_t pick = rng.UniformInt(uint64_t{live.size()});
+      for (auto& index : indexes) {
+        ASSERT_TRUE(index->Remove(live[pick]).ok());
+      }
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    for (auto& index : indexes) ASSERT_EQ(index->size(), live.size());
+
+    const TrajId banned = static_cast<TrajId>(round % 23);
+    const auto not_banned = [banned](const SegmentEntry& e) {
+      return e.traj != banned;
+    };
+    for (const size_t k : {1u, 4u, 17u}) {
+      for (const GroupBy mode :
+           {GroupBy::kSegment, GroupBy::kTrajectory}) {
+        for (const bool filtered : {false, true}) {
+          const Point q{rng.Uniform(0, kRegionSize),
+                        rng.Uniform(0, kRegionSize)};
+          SearchOptions options;
+          options.k = k;
+          options.group_by = mode;
+          if (filtered) options.filter = not_banned;
+          const auto want = linear.KNearest(q, options, &linear_ctx);
+          const std::vector<Neighbor> want_copy(want.begin(), want.end());
+          for (size_t s = 1; s < indexes.size(); ++s) {
+            const auto got =
+                indexes[s]->KNearest(q, options, contexts[s].get());
+            const std::string label =
+                std::string(SearchStrategyName(all[s])) + " round " +
+                std::to_string(round) + " k=" + std::to_string(k) +
+                (mode == GroupBy::kTrajectory ? " traj" : " seg") +
+                (filtered ? " filtered" : "");
+            ASSERT_EQ(got.size(), want_copy.size()) << label;
+            for (size_t i = 0; i < got.size(); ++i) {
+              ASSERT_NEAR(got[i].dist, want_copy[i].dist, 1e-7)
+                  << label << " at rank " << i;
+              if (filtered) {
+                ASSERT_NE(got[i].entry.traj, banned) << label;
+              }
+            }
+            if (mode == GroupBy::kTrajectory) {
+              std::unordered_set<TrajId> trajs;
+              for (const auto& n : got) {
+                ASSERT_TRUE(trajs.insert(n.entry.traj).second) << label;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Bulk Build must be equivalent to element-wise Insert (same contents,
+// same query results) and reject duplicate handles.
+TEST(StrategyEquivalencePropertyTest, BulkBuildMatchesInserts) {
+  Rng rng(8888);
+  std::vector<SegmentEntry> entries;
+  for (SegmentHandle h = 0; h < 1200; ++h) {
+    entries.push_back(RandomSegment(h, h % 40, rng));
+  }
+  for (const SearchStrategy s :
+       {SearchStrategy::kLinear, SearchStrategy::kUniformGrid,
+        SearchStrategy::kTopDown, SearchStrategy::kBottomUp,
+        SearchStrategy::kBottomUpDown}) {
+    auto bulk = MakeSegmentIndex(s, TestGrid());
+    ASSERT_TRUE(bulk->Build(entries).ok());
+    auto incremental = MakeSegmentIndex(s, TestGrid());
+    for (const auto& e : entries) ASSERT_TRUE(incremental->Insert(e).ok());
+    ASSERT_EQ(bulk->size(), incremental->size());
+    SearchOptions options;
+    options.k = 12;
+    for (int trial = 0; trial < 10; ++trial) {
+      const Point q{rng.Uniform(0, kRegionSize),
+                    rng.Uniform(0, kRegionSize)};
+      ExpectSameDistances(bulk->KNearest(q, options),
+                          incremental->KNearest(q, options),
+                          std::string(SearchStrategyName(s)) + " bulk");
+    }
+    EXPECT_EQ(bulk->Build(Span<const SegmentEntry>(entries.data(), 1))
+                  .code(),
+              StatusCode::kAlreadyExists);
+  }
+}
 
 TEST(SearchStrategyTest, Names) {
   EXPECT_EQ(SearchStrategyName(SearchStrategy::kLinear), "Linear");
