@@ -1,0 +1,276 @@
+// bench_serve — multi-feed serving layer scaling study (google-benchmark).
+//
+// Three claims, machine-checkable from the emitted counters (recorded into
+// BENCH_serve.json via tools/bench_report.py):
+//
+//   ServeMultiplexedFeeds/N   N in {2,4,8,16} feeds multiplexed through
+//                             one shared pool: throughput
+//                             (items_per_second = published trajectories)
+//                             and per-iteration window counts. `feeds`
+//                             documents the concurrency level.
+//   ServeIsolationCheck/8     1 hog feed (recycling ids, exhausts its
+//                             per-object budget) + 7 victims. Every feed's
+//                             multiplexed output is compared bit-for-bit
+//                             against its SOLO run at the same master
+//                             seed: isolation_bit_identical must be 1 and
+//                             hog_windows_refused > 0 (the hog really ran
+//                             dry while the victims noticed nothing).
+//   ServeDeadlineClose/8      8 trickle feeds that never fill a
+//                             count-based window; --close-after-ms style
+//                             deadline closure must bound the close-wait
+//                             tail: deadline_met is 1 iff
+//                             close_wait_p99_ms < deadline_ms.
+//
+// The container may be single-core: throughput numbers are modest there,
+// but the isolation and deadline claims are scheduling-independent.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/dispatcher.h"
+#include "stream/ingest.h"
+#include "traj/trajectory.h"
+
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+/// Deterministic arrivals; ids recycle modulo `distinct_ids` when > 0.
+std::vector<frt::Trajectory> FeedArrivals(int arrivals, int distinct_ids) {
+  std::vector<frt::Trajectory> out;
+  out.reserve(arrivals);
+  for (int i = 0; i < arrivals; ++i) {
+    const int id = distinct_ids > 0 ? i % distinct_ids : i;
+    const int points = 24 + (i * 7) % 13;
+    double x = 200.0 + (i * 137) % 1700;
+    double y = 300.0 + (i * 251) % 1500;
+    int64_t t = 1000 + i;
+    frt::Trajectory traj(id);
+    for (int j = 0; j < points; ++j) {
+      traj.Append(frt::Point{x, y}, t);
+      x += 35.0 + (j * 11) % 20;
+      y += 25.0 + ((i + j) * 13) % 30;
+      t += 60;
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+frt::ServiceConfig BaseConfig() {
+  frt::ServiceConfig config;
+  config.stream.window_size = 10;
+  config.stream.batch.shards = 2;
+  config.stream.batch.pipeline.m = 3;
+  config.stream.batch.pipeline.epsilon_global = 0.5;
+  config.stream.batch.pipeline.epsilon_local = 0.5;
+  config.pool_threads = 4;
+  return config;
+}
+
+frt::ServiceSink CountingSink(size_t* trajectories) {
+  return [trajectories](const std::string&, const frt::Dataset& published,
+                        const frt::WindowReport&) -> frt::Status {
+    *trajectories += published.size();
+    return frt::Status::OK();
+  };
+}
+
+void BM_ServeMultiplexedFeeds(benchmark::State& state) {
+  const int feeds = static_cast<int>(state.range(0));
+  const int arrivals_per_feed = 60;
+  const std::vector<frt::Trajectory> arrivals =
+      FeedArrivals(arrivals_per_feed, 0);
+  std::vector<std::string> names;
+  names.reserve(feeds);
+  for (int f = 0; f < feeds; ++f) {
+    names.push_back("feed" + std::to_string(f));
+  }
+  size_t published = 0;
+  size_t windows = 0;
+  for (auto _ : state) {
+    frt::ServiceDispatcher service(BaseConfig(), CountingSink(&published));
+    if (!service.Start(kSeed).ok()) {
+      state.SkipWithError("service failed to start");
+      return;
+    }
+    for (const frt::Trajectory& t : arrivals) {
+      for (const std::string& name : names) {
+        if (!service.Offer(name, t)) {
+          state.SkipWithError("offer rejected");
+          return;
+        }
+      }
+    }
+    if (!service.Finish().ok()) {
+      state.SkipWithError("service run failed");
+      return;
+    }
+    windows += service.report().windows_published;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(published));
+  state.counters["feeds"] = static_cast<double>(feeds);
+  state.counters["pool_workers"] = 4.0;
+  state.counters["windows_per_iter"] =
+      benchmark::Counter(static_cast<double>(windows),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ServeMultiplexedFeeds)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Minimal bit-level capture: feed -> flat list of (id, points).
+struct Capture {
+  std::map<std::string,
+           std::vector<std::pair<frt::TrajId,
+                                 std::vector<frt::TimedPoint>>>>
+      feeds;
+  frt::ServiceSink MakeSink() {
+    return [this](const std::string& feed, const frt::Dataset& published,
+                  const frt::WindowReport&) -> frt::Status {
+      auto& rows = feeds[feed];
+      for (const auto& t : published.trajectories()) {
+        rows.emplace_back(t.id(), t.points());
+      }
+      return frt::Status::OK();
+    };
+  }
+};
+
+void BM_ServeIsolationCheck(benchmark::State& state) {
+  const int feeds = static_cast<int>(state.range(0));
+  frt::ServiceConfig config = BaseConfig();
+  config.stream.window_size = 5;
+  config.stream.accounting = frt::BudgetAccounting::kPerObject;
+  config.stream.per_object_budget = 2.0;
+
+  std::vector<std::string> names = {"hog"};
+  std::vector<std::vector<frt::Trajectory>> arrivals;
+  arrivals.push_back(FeedArrivals(30, 5));  // ids recycle 6x: runs dry
+  for (int f = 1; f < feeds; ++f) {
+    names.push_back("victim" + std::to_string(f));
+    arrivals.push_back(FeedArrivals(30, 0));
+  }
+
+  double identical = 1.0;
+  double hog_refused = 0.0;
+  for (auto _ : state) {
+    // Solo baselines.
+    std::vector<Capture> solo(feeds);
+    for (int f = 0; f < feeds; ++f) {
+      frt::ServiceDispatcher service(config, solo[f].MakeSink());
+      if (!service.Start(kSeed).ok()) {
+        state.SkipWithError("solo start failed");
+        return;
+      }
+      for (const frt::Trajectory& t : arrivals[f]) {
+        service.Offer(names[f], t);
+      }
+      if (!service.Finish().ok()) {
+        state.SkipWithError("solo run failed");
+        return;
+      }
+    }
+    // Multiplexed, round-robin interleaved.
+    Capture multi;
+    frt::ServiceDispatcher service(config, multi.MakeSink());
+    if (!service.Start(kSeed).ok()) {
+      state.SkipWithError("multiplexed start failed");
+      return;
+    }
+    for (size_t i = 0; i < arrivals[0].size(); ++i) {
+      for (int f = 0; f < feeds; ++f) {
+        service.Offer(names[f], arrivals[f][i]);
+      }
+    }
+    if (!service.Finish().ok()) {
+      state.SkipWithError("multiplexed run failed");
+      return;
+    }
+    for (int f = 0; f < feeds; ++f) {
+      if (multi.feeds[names[f]] != solo[f].feeds[names[f]]) {
+        identical = 0.0;
+      }
+    }
+    for (const frt::FeedReport& feed : service.report().feeds_report) {
+      if (feed.feed == "hog") {
+        hog_refused = static_cast<double>(feed.stream.windows_refused);
+      }
+    }
+  }
+  state.counters["feeds"] = static_cast<double>(feeds);
+  state.counters["isolation_bit_identical"] = identical;
+  state.counters["hog_windows_refused"] = hog_refused;
+}
+BENCHMARK(BM_ServeIsolationCheck)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServeDeadlineClose(benchmark::State& state) {
+  const int feeds = static_cast<int>(state.range(0));
+  const int64_t deadline_ms = 150;
+  frt::ServiceConfig config = BaseConfig();
+  config.stream.window_size = 1000;  // count closure never fires
+  config.stream.close_after_ms = deadline_ms;
+
+  const std::vector<frt::Trajectory> arrivals = FeedArrivals(32, 0);
+  std::vector<std::string> names;
+  for (int f = 0; f < feeds; ++f) {
+    names.push_back("live" + std::to_string(f));
+  }
+  double p50 = 0.0, p99 = 0.0, worst = 0.0, deadline_windows = 0.0;
+  for (auto _ : state) {
+    size_t published = 0;
+    frt::ServiceDispatcher service(config, CountingSink(&published));
+    if (!service.Start(kSeed).ok()) {
+      state.SkipWithError("service failed to start");
+      return;
+    }
+    // Trickle: one arrival per feed every 10 ms — a window would need
+    // 10 s to fill by count, so only the deadline can close it.
+    for (const frt::Trajectory& t : arrivals) {
+      for (const std::string& name : names) {
+        service.Offer(name, t);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!service.Finish().ok()) {
+      state.SkipWithError("service run failed");
+      return;
+    }
+    const frt::ServiceReport& report = service.report();
+    p50 = report.close_wait_p50_ms;
+    p99 = report.close_wait_p99_ms;
+    worst = report.close_wait_max_ms;
+    deadline_windows =
+        static_cast<double>(report.windows_deadline_closed);
+  }
+  state.counters["feeds"] = static_cast<double>(feeds);
+  state.counters["deadline_ms"] = static_cast<double>(deadline_ms);
+  state.counters["close_wait_p50_ms"] = p50;
+  state.counters["close_wait_p99_ms"] = p99;
+  state.counters["close_wait_max_ms"] = worst;
+  state.counters["windows_deadline_closed"] = deadline_windows;
+  state.counters["deadline_met"] =
+      (p99 > 0.0 && p99 < static_cast<double>(deadline_ms)) ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ServeDeadlineClose)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

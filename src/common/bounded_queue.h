@@ -4,12 +4,33 @@
 // (producer: parsed trajectories) and the window assembler (consumer): a
 // fixed capacity caps the memory held in flight, so a fast reader blocks in
 // Push() instead of ballooning the heap when anonymization is the
-// bottleneck. Close() drains cleanly: producers stop, consumers keep
-// popping until the queue is empty, then Pop() returns nullopt.
+// bottleneck. The multi-feed serving layer adds two more uses: the tagged
+// arrival queue in front of the dispatcher (many ingest threads, one
+// consumer) and the completion queue behind the worker pool (many workers,
+// one consumer).
+//
+// Close/drain contract:
+//   - Close() is idempotent and marks the end of the stream.
+//   - Producers observe the close: a Push() that is blocked on a full
+//     queue (or arrives after the close) returns false and the item is
+//     dropped — the producer, not the queue, owns items it failed to hand
+//     over.
+//   - Consumers drain: items queued before the close remain poppable;
+//     only once the queue is closed AND empty does Pop() return nullopt
+//     (and PopUntil() return kClosed). No item accepted by Push() is ever
+//     lost to a close.
+//
+// PopUntil() is the deadline-driven variant behind time-based window
+// closure (--close-after-ms): a consumer that must wake at a wall-clock
+// deadline even when no item arrives waits with a timeout and gets an
+// explicit kItem / kTimeout / kClosed outcome, so "feed is slow" and "feed
+// is over" cannot be confused — the shutdown race a nullopt-only API
+// invites.
 
 #ifndef FRT_COMMON_BOUNDED_QUEUE_H_
 #define FRT_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +39,13 @@
 #include <utility>
 
 namespace frt {
+
+/// Outcome of a timed pop.
+enum class QueuePop {
+  kItem,     ///< *out holds the popped item
+  kTimeout,  ///< deadline passed with the queue open but empty
+  kClosed,   ///< queue closed and fully drained; no item will ever arrive
+};
 
 /// \brief Fixed-capacity blocking FIFO, safe for any number of producer and
 /// consumer threads.
@@ -44,6 +72,17 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push. Returns false when the queue is full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained;
   /// nullopt means no item will ever arrive again.
   std::optional<T> Pop() {
@@ -57,8 +96,40 @@ class BoundedQueue {
     return item;
   }
 
+  /// \brief Pops with a deadline: blocks until an item arrives (kItem), the
+  /// deadline passes (kTimeout), or the queue is closed and drained
+  /// (kClosed). Items queued before a close are still delivered as kItem —
+  /// the close only wins once the queue is empty.
+  template <typename Clock, typename Duration>
+  QueuePop PopUntil(std::chrono::time_point<Clock, Duration> deadline,
+                    T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_empty_.wait_until(
+        lock, deadline, [this] { return !items_.empty() || closed_; });
+    if (!ready) return QueuePop::kTimeout;
+    if (items_.empty()) return QueuePop::kClosed;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return QueuePop::kItem;
+  }
+
+  /// Non-blocking pop. Returns false when no item is immediately available
+  /// (whether the queue is open or closed).
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
   /// Marks the end of the stream: pending Push() calls fail, consumers
-  /// drain the remaining items and then see nullopt. Idempotent.
+  /// drain the remaining items and then see nullopt/kClosed. Idempotent.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);

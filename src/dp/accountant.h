@@ -51,6 +51,23 @@ class PrivacyAccountant {
   /// ledger does not grow without bound. 0 (default) keeps everything.
   void set_max_ledger_entries(size_t n) { max_ledger_entries_ = n; }
 
+  /// \brief Preloads spend carried over from a predecessor ledger — e.g. a
+  /// serving session resuming a feed whose evicted session already spent
+  /// part of the budget.
+  ///
+  /// Bypasses enforcement (the carried amount was admitted by the
+  /// predecessor when it was spent) and may leave the ledger over budget,
+  /// in which case every further Spend is refused — the correct fate of a
+  /// feed that exhausted its budget before the hand-off.
+  void PreloadSpent(double epsilon, std::string label) {
+    if (!(epsilon > 0.0)) return;
+    spent_ += epsilon;
+    ledger_.push_back({epsilon, std::move(label)});
+    if (max_ledger_entries_ > 0 && ledger_.size() > max_ledger_entries_) {
+      ledger_.erase(ledger_.begin());
+    }
+  }
+
   /// Total epsilon consumed so far (sequential composition).
   double spent() const { return spent_; }
 

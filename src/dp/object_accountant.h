@@ -135,6 +135,21 @@ class ObjectBudgetAccountant {
     MaybeEvict();
   }
 
+  /// \brief Raises the conservative floor directly: every id not tracked
+  /// exactly is assumed to have already spent at least `floor`.
+  ///
+  /// The serving layer uses this when a feed session is idle-evicted and
+  /// later resumes: the evicted session's exact ledgers are gone, so the
+  /// fresh accountant starts every object at the old session's maximum
+  /// spend — over-charging, never under-charging, exactly like bounded
+  /// retention. The floor only ever rises. Also raises max_spent(): the
+  /// carried guarantee must not shrink across the hand-off.
+  void PreloadFloor(double floor) {
+    if (floor <= evicted_floor_) return;
+    evicted_floor_ = floor;
+    max_spent_ = std::max(max_spent_, floor);
+  }
+
   bool enforcing() const { return enforce_; }
   double per_object_budget() const { return per_object_budget_; }
 

@@ -55,6 +55,28 @@ void WorkStealingPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   fn_ = nullptr;
 }
 
+void WorkStealingPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // 1-worker pool: inline on the caller, matching Run's cost model.
+    task();
+    return;
+  }
+  async_pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    async_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkStealingPool::WaitIdle() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(run_mu_);
+  done_cv_.wait(lock, [this] {
+    return async_pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
 bool WorkStealingPool::TryAcquire(unsigned id, size_t* index) {
   {
     WorkerQueue& own = *queues_[id];
@@ -81,15 +103,33 @@ bool WorkStealingPool::TryAcquire(unsigned id, size_t* index) {
 void WorkStealingPool::WorkerLoop(unsigned id) {
   uint64_t seen_epoch = 0;
   for (;;) {
+    std::function<void()> async_task;
     const std::function<void(size_t)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(run_mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      fn = fn_;
-      ++active_workers_;
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || epoch_ != seen_epoch || !async_.empty();
+      });
+      if (!async_.empty()) {
+        // Submitted tasks drain first — including during shutdown, so the
+        // destructor never strands an accepted job.
+        async_task = std::move(async_.front());
+        async_.pop_front();
+      } else if (shutdown_) {
+        return;
+      } else {
+        seen_epoch = epoch_;
+        fn = fn_;
+        ++active_workers_;
+      }
+    }
+    if (async_task) {
+      async_task();
+      if (async_pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(run_mu_);
+        done_cv_.notify_all();
+      }
+      continue;
     }
     // fn_ is cleared (under run_mu_) when its run drains, so a null latch
     // means this worker slept through the entire run it was woken for; it

@@ -9,6 +9,12 @@
 // deal. Workers are persistent across Run() calls, which lets the streaming
 // runtime reuse one pool for every window instead of re-spawning threads.
 //
+// Beyond the fork-join Run(), the pool accepts fire-and-forget closures
+// via Submit(): the multi-feed serving layer schedules one whole-window
+// anonymization job per task, so many independent feeds multiplex onto one
+// set of workers. Submitted tasks drain ahead of Run() indices and ahead
+// of shutdown, and WaitIdle() is the end-of-service barrier.
+//
 // Determinism contract: the pool schedules *where* a task runs, never what
 // it computes. Callers that write results to pre-sized per-index slots and
 // pre-fork any RNG streams (as BatchRunner does) get bit-identical output
@@ -53,6 +59,28 @@ class WorkStealingPool {
   /// pool), and only one Run may be in flight at a time.
   void Run(size_t n, const std::function<void(size_t)>& fn);
 
+  /// \brief Enqueues a fire-and-forget task for asynchronous execution on
+  /// the workers; returns immediately. The serving layer's unit of
+  /// submission: one whole-window anonymization job per task.
+  ///
+  /// Tasks run concurrently with each other and with an in-flight Run()
+  /// (workers prefer draining submitted tasks first); they must not throw
+  /// and must not call Run() or Submit() recursively into a 1-worker pool.
+  /// On a 1-worker pool the task runs inline on the caller. Destruction
+  /// drains all submitted tasks before joining the workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every Submit()ed task has finished. Callers that need
+  /// per-task completion signals should build them into the task (the
+  /// service's completion queue); this is the coarse end-of-run barrier.
+  void WaitIdle();
+
+  /// Tasks submitted via Submit() that have not yet finished. Racy read,
+  /// diagnostic only.
+  size_t submitted_pending() const {
+    return async_pending_.load(std::memory_order_relaxed);
+  }
+
   unsigned num_workers() const { return num_workers_; }
 
   /// Total tasks obtained by stealing (vs. popped from the owner's deque)
@@ -89,6 +117,14 @@ class WorkStealingPool {
   const std::function<void(size_t)>* fn_ = nullptr;
   std::atomic<size_t> remaining_{0};
   std::atomic<uint64_t> steals_{0};
+
+  // Fire-and-forget tasks (Submit). Window jobs are tens of milliseconds,
+  // so one central deque under run_mu_ is noise next to the task bodies;
+  // per-worker deques would buy nothing at this granularity. Guarded by
+  // run_mu_; async_pending_ counts queued + executing tasks and gates
+  // WaitIdle and shutdown drain.
+  std::deque<std::function<void()>> async_;
+  std::atomic<size_t> async_pending_{0};
 };
 
 }  // namespace frt

@@ -1,0 +1,490 @@
+#include "service/dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "runtime/batch_runner.h"
+
+namespace frt {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// How often the dispatcher checks the completion queue while jobs are in
+/// flight and no arrival wakes it sooner. Window jobs are tens of
+/// milliseconds, so a 1 ms poll adds negligible latency and negligible
+/// load to the single consumer thread.
+constexpr std::chrono::milliseconds kCompletionPoll(1);
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const size_t k = static_cast<size_t>(rank + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<ptrdiff_t>(k),
+                   samples.end());
+  return samples[k];
+}
+
+double MaxSample(const std::vector<double>& samples) {
+  return samples.empty()
+             ? 0.0
+             : *std::max_element(samples.begin(), samples.end());
+}
+
+/// Folds one session generation's report into a feed's running totals.
+/// Counters sum; epsilon fields take the newer generation's values (its
+/// accountants were preloaded with the predecessors' spend, so they are
+/// already cumulative); the bounded window history appends.
+void MergeStreamReport(StreamReport* into, const StreamReport& from,
+                       size_t max_window_reports) {
+  into->windows_closed += from.windows_closed;
+  into->windows_published += from.windows_published;
+  into->windows_refused += from.windows_refused;
+  into->windows_deadline_closed += from.windows_deadline_closed;
+  into->trajectories_in += from.trajectories_in;
+  into->trajectories_published += from.trajectories_published;
+  into->trajectories_refused += from.trajectories_refused;
+  into->trajectories_evicted += from.trajectories_evicted;
+  into->epsilon_spent = from.epsilon_spent;
+  into->epsilon_wholesale_equivalent = from.epsilon_wholesale_equivalent;
+  into->windows.insert(into->windows.end(), from.windows.begin(),
+                       from.windows.end());
+  if (max_window_reports > 0 && into->windows.size() > max_window_reports) {
+    into->windows.erase(into->windows.begin(),
+                        into->windows.end() -
+                            static_cast<ptrdiff_t>(max_window_reports));
+  }
+}
+
+}  // namespace
+
+bool ServiceHadRefusals(const ServiceReport& report) {
+  return report.windows_refused > 0 || report.trajectories_evicted > 0;
+}
+
+ServiceDispatcher::ServiceDispatcher(ServiceConfig config, ServiceSink sink)
+    : config_(std::move(config)), sink_(std::move(sink)) {
+  // Normalize the window geometry exactly as StreamRunner does, then the
+  // service-level knobs.
+  if (config_.stream.window_size == 0) config_.stream.window_size = 1;
+  if (config_.stream.window_stride == 0 ||
+      config_.stream.window_stride > config_.stream.window_size) {
+    config_.stream.window_stride = config_.stream.window_size;
+  }
+  if (config_.pool_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    config_.pool_threads = std::max(2u, hw);
+  }
+  if (config_.max_in_flight == 0) {
+    config_.max_in_flight = 2 * config_.pool_threads;
+  }
+  if (config_.arrival_queue_capacity == 0) {
+    config_.arrival_queue_capacity = 4 * config_.stream.window_size;
+  }
+  if (config_.max_backlog_windows == 0) {
+    config_.max_backlog_windows = 4 * config_.max_in_flight;
+  }
+}
+
+ServiceDispatcher::~ServiceDispatcher() {
+  if (started_ && !finished_) (void)Finish();
+}
+
+Status ServiceDispatcher::Start(uint64_t seed) {
+  if (started_) return Status::FailedPrecondition("service already started");
+  master_seed_ = seed;
+  pool_ = std::make_unique<WorkStealingPool>(config_.pool_threads);
+  arrivals_ =
+      std::make_unique<BoundedQueue<Arrival>>(config_.arrival_queue_capacity);
+  // Capacity == the in-flight cap, so a worker delivering a completion can
+  // never block: at most max_in_flight completions exist at once.
+  completions_ = std::make_unique<BoundedQueue<std::unique_ptr<Completion>>>(
+      config_.max_in_flight);
+  started_ = true;
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  return Status::OK();
+}
+
+bool ServiceDispatcher::Offer(std::string feed, Trajectory t) {
+  if (!started_) return false;
+  Arrival arrival;
+  arrival.feed = std::move(feed);
+  arrival.trajectory = std::move(t);
+  return arrivals_->Push(std::move(arrival));
+}
+
+Status ServiceDispatcher::Finish() {
+  if (!started_) return Status::FailedPrecondition("service never started");
+  if (finished_) return error_;
+  arrivals_->Close();
+  dispatcher_.join();
+  finished_ = true;
+  return error_;
+}
+
+void ServiceDispatcher::Abort(Status status) {
+  if (aborted_) return;
+  aborted_ = true;
+  error_ = std::move(status);
+  // Fail ingress fast: producers blocked in Offer() observe the close and
+  // stop; arrivals already queued are drained and discarded.
+  arrivals_->Close();
+}
+
+Status ServiceDispatcher::Route(Arrival&& arrival,
+                                SteadyClock::time_point now) {
+  auto [it, inserted] = feeds_.try_emplace(arrival.feed);
+  FeedSlot& slot = it->second;
+  if (inserted) feed_order_.push_back(arrival.feed);
+  if (!slot.session) {
+    // Generation 0, or a revival of an idle-evicted feed: the carry
+    // preloads the predecessor's budget state conservatively.
+    slot.session = std::make_unique<FeedSession>(
+        arrival.feed, config_.stream, master_seed_, slot.generations,
+        slot.carry);
+    ++slot.generations;
+    ++report_.sessions_created;
+    ++active_sessions_;
+    report_.peak_active_sessions =
+        std::max(report_.peak_active_sessions, active_sessions_);
+  }
+  slot.session->set_evict_when_drained(false);  // the feed is live again
+  slot.session->Offer(std::move(arrival.trajectory), now);
+  while (slot.session->WindowReady()) {
+    FRT_RETURN_IF_ERROR(
+        slot.session->CloseWindow(WindowClose::kCount, now));
+  }
+  return Status::OK();
+}
+
+Status ServiceDispatcher::CloseExpired(SteadyClock::time_point now) {
+  if (config_.stream.close_after_ms <= 0) return Status::OK();
+  for (const auto& name : feed_order_) {
+    FeedSlot& slot = feeds_.at(name);
+    if (!slot.session) continue;
+    const auto deadline = slot.session->CloseDeadline();
+    if (deadline.has_value() && now >= *deadline) {
+      FRT_RETURN_IF_ERROR(
+          slot.session->CloseWindow(WindowClose::kDeadline, now));
+    }
+  }
+  return Status::OK();
+}
+
+Status ServiceDispatcher::EvictIdle(SteadyClock::time_point now) {
+  if (config_.idle_evict_ms <= 0) return Status::OK();
+  const auto idle = std::chrono::milliseconds(config_.idle_evict_ms);
+  for (const auto& name : feed_order_) {
+    FeedSlot& slot = feeds_.at(name);
+    if (!slot.session) continue;
+    if (slot.session->evict_when_drained()) {
+      // A flagged session normally falls to HandleCompletion's eviction,
+      // but one whose backlog drained through admission REFUSALS never
+      // gets a completion — catch it here.
+      if (slot.session->Drained()) EvictSession(&slot);
+      continue;
+    }
+    if (now - slot.session->last_arrival() < idle) continue;
+    // Flush the trailing partial window first — eviction publishes, it
+    // never drops.
+    if (slot.session->uncovered() > 0) {
+      FRT_RETURN_IF_ERROR(
+          slot.session->CloseWindow(WindowClose::kFinal, now));
+    }
+    if (slot.session->Drained()) {
+      EvictSession(&slot);
+    } else {
+      slot.session->set_evict_when_drained(true);
+    }
+  }
+  return Status::OK();
+}
+
+void ServiceDispatcher::EvictSession(FeedSlot* slot) {
+  MergeStreamReport(&slot->merged, slot->session->report(),
+                    config_.stream.max_window_reports);
+  slot->carry = slot->session->Carry();
+  slot->ever_evicted = true;
+  slot->session.reset();
+  ++report_.sessions_evicted;
+  --active_sessions_;
+}
+
+void ServiceDispatcher::SubmitReady() {
+  if (aborted_ || feed_order_.empty()) return;
+  // Rotate the scan start each call: with more backlogged feeds than
+  // in-flight slots, a fixed order would let the earliest feeds
+  // monopolize the pool and starve the tail.
+  const size_t n = feed_order_.size();
+  submit_rr_ = (submit_rr_ + 1) % n;
+  for (size_t k = 0; k < n; ++k) {
+    if (in_flight_ >= config_.max_in_flight) return;
+    const std::string& name = feed_order_[(submit_rr_ + k) % n];
+    FeedSlot& slot = feeds_.at(name);
+    if (!slot.session) continue;
+    std::optional<WindowJob> job = slot.session->NextSubmittable();
+    if (config_.stream.stop_when_exhausted && !stopping_ &&
+        slot.session->had_refusals()) {
+      // End service at the first refusal (mirrors StreamRunner's
+      // stop_when_exhausted): stop ingesting, drain what already closed,
+      // finish cleanly.
+      stopping_ = true;
+      arrivals_->Close();
+    }
+    if (!job.has_value()) {
+      // The backlog may have just drained through admission refusals (no
+      // completion will fire): an eviction waiting on that drain runs now.
+      if (slot.session->evict_when_drained() && slot.session->Drained()) {
+        EvictSession(&slot);
+      }
+      continue;
+    }
+    ++in_flight_;
+    // The job is self-contained: the worker touches nothing owned by the
+    // session (which could be evicted only when drained — and it is busy
+    // now, so it cannot drain before this completion lands).
+    auto shared_job = std::make_shared<WindowJob>(std::move(*job));
+    BatchRunnerConfig batch_config = config_.stream.batch;
+    // Window jobs run single-threaded: the service's parallelism is
+    // across windows of distinct feeds, not within one window. Sharding
+    // still applies (smaller per-shard candidate sets), executed inline.
+    batch_config.pool = nullptr;
+    batch_config.dispatch = ShardDispatch::kStatic;
+    batch_config.threads = 1;
+    BoundedQueue<std::unique_ptr<Completion>>* completions =
+        completions_.get();
+    pool_->Submit([shared_job, completions, batch_config] {
+      auto completion = std::make_unique<Completion>();
+      BatchRunner runner(batch_config);
+      completion->published =
+          runner.Anonymize(shared_job->window, shared_job->rng);
+      completion->batch = runner.report();
+      completion->job = std::move(*shared_job);
+      completion->job.window = Dataset();  // the copy has served its purpose
+      completions->Push(std::move(completion));
+    });
+  }
+}
+
+void ServiceDispatcher::HandleCompletion(
+    std::unique_ptr<Completion> completion) {
+  --in_flight_;
+  FeedSlot& slot = feeds_.at(completion->job.feed);
+  FeedSession& session = *slot.session;
+  if (aborted_) {
+    session.Abandon();
+    return;
+  }
+  if (!completion->published.ok()) {
+    session.Abandon();
+    Abort(completion->published.status());
+    return;
+  }
+  const double publish_ms =
+      std::chrono::duration<double, std::milli>(SteadyClock::now() -
+                                                completion->job.closed_at)
+          .count();
+  Result<WindowReport> window_report = session.Complete(
+      completion->job, *completion->published, completion->batch,
+      publish_ms);
+  if (!window_report.ok()) {
+    Abort(window_report.status());
+    return;
+  }
+  if (config_.max_latency_samples > 0) {
+    auto push = [&](std::vector<double>* samples, size_t* next, double x) {
+      if (samples->size() < config_.max_latency_samples) {
+        samples->push_back(x);
+      } else {
+        (*samples)[*next] = x;
+        *next = (*next + 1) % samples->size();
+      }
+    };
+    push(&close_wait_samples_, &close_wait_next_,
+         completion->job.close_wait_ms);
+    push(&publish_samples_, &publish_next_, publish_ms);
+  }
+  if (Status st = sink_(completion->job.feed, *completion->published,
+                        *window_report);
+      !st.ok()) {
+    Abort(st);
+    return;
+  }
+  session.RecordPublished(*window_report);
+  if (session.evict_when_drained() && session.Drained()) {
+    EvictSession(&slot);
+  }
+}
+
+void ServiceDispatcher::BuildFinalReport() {
+  report_.feeds = feed_order_.size();
+  for (const auto& name : feed_order_) {
+    FeedSlot& slot = feeds_.at(name);
+    FeedReport feed_report;
+    feed_report.feed = name;
+    feed_report.sessions = slot.generations;
+    feed_report.evicted = !slot.session && slot.ever_evicted;
+    feed_report.stream = slot.merged;
+    if (slot.session) {
+      MergeStreamReport(&feed_report.stream, slot.session->report(),
+                        config_.stream.max_window_reports);
+    }
+    report_.windows_closed += feed_report.stream.windows_closed;
+    report_.windows_published += feed_report.stream.windows_published;
+    report_.windows_refused += feed_report.stream.windows_refused;
+    report_.windows_deadline_closed +=
+        feed_report.stream.windows_deadline_closed;
+    report_.trajectories_in += feed_report.stream.trajectories_in;
+    report_.trajectories_published +=
+        feed_report.stream.trajectories_published;
+    report_.trajectories_refused += feed_report.stream.trajectories_refused;
+    report_.trajectories_evicted += feed_report.stream.trajectories_evicted;
+    report_.feeds_report.push_back(std::move(feed_report));
+  }
+  std::sort(report_.feeds_report.begin(), report_.feeds_report.end(),
+            [](const FeedReport& a, const FeedReport& b) {
+              return a.feed < b.feed;
+            });
+  report_.close_wait_p50_ms = Percentile(close_wait_samples_, 0.50);
+  report_.close_wait_p99_ms = Percentile(close_wait_samples_, 0.99);
+  report_.close_wait_max_ms = MaxSample(close_wait_samples_);
+  report_.publish_p50_ms = Percentile(publish_samples_, 0.50);
+  report_.publish_p99_ms = Percentile(publish_samples_, 0.99);
+  report_.publish_max_ms = MaxSample(publish_samples_);
+}
+
+void ServiceDispatcher::DispatcherLoop() {
+  Stopwatch wall;
+  bool input_done = false;
+  while (!input_done) {
+    // Absorb whatever the workers finished, then top the pool back up.
+    std::unique_ptr<Completion> completion;
+    while (completions_->TryPop(&completion)) {
+      HandleCompletion(std::move(completion));
+    }
+    SubmitReady();
+
+    // Sleep until the next arrival — but no later than the earliest
+    // closure/eviction deadline, and no later than the completion poll
+    // when jobs are in flight. Sessions whose eviction cannot fire yet
+    // (already flagged evict_when_drained, waiting on a completion) are
+    // excluded from the deadline, or their stale past-due deadline would
+    // turn this loop into a busy spin.
+    SteadyClock::time_point deadline = SteadyClock::time_point::max();
+    bool timed = false;
+    size_t backlog_windows = 0;
+    if (!aborted_) {
+      for (const auto& name : feed_order_) {
+        const FeedSlot& slot = feeds_.at(name);
+        if (!slot.session) continue;
+        backlog_windows += slot.session->backlog_size();
+        if (const auto d = slot.session->CloseDeadline(); d.has_value()) {
+          deadline = std::min(deadline, *d);
+          timed = true;
+        }
+        if (config_.idle_evict_ms > 0 &&
+            !slot.session->evict_when_drained()) {
+          deadline = std::min(
+              deadline,
+              slot.session->last_arrival() +
+                  std::chrono::milliseconds(config_.idle_evict_ms));
+          timed = true;
+        }
+      }
+    }
+
+    if (!aborted_ && backlog_windows >= config_.max_backlog_windows) {
+      // The pool is the bottleneck: pause ingress (arrivals pile into the
+      // bounded queue until Offer blocks — end-to-end backpressure) and
+      // wait directly for a completion to drain the backlog. A session
+      // with backlog is busy or about to be, so a completion is coming.
+      std::unique_ptr<Completion> completion;
+      const SteadyClock::time_point wait_until =
+          std::min(deadline, SteadyClock::now() + kCompletionPoll * 20);
+      if (completions_->PopUntil(wait_until, &completion) ==
+          QueuePop::kItem) {
+        HandleCompletion(std::move(completion));
+      }
+      const SteadyClock::time_point now = SteadyClock::now();
+      if (!aborted_ && !stopping_) {
+        if (Status st = CloseExpired(now); !st.ok()) Abort(st);
+        if (Status st = EvictIdle(now); !st.ok()) Abort(st);
+      }
+      continue;
+    }
+    if (in_flight_ > 0) {
+      deadline = std::min(deadline, SteadyClock::now() + kCompletionPoll);
+      timed = true;
+    }
+
+    Arrival arrival;
+    QueuePop popped;
+    if (timed) {
+      popped = arrivals_->PopUntil(deadline, &arrival);
+    } else {
+      std::optional<Arrival> item = arrivals_->Pop();
+      if (item.has_value()) {
+        arrival = std::move(*item);
+        popped = QueuePop::kItem;
+      } else {
+        popped = QueuePop::kClosed;
+      }
+    }
+    const SteadyClock::time_point now = SteadyClock::now();
+    switch (popped) {
+      case QueuePop::kItem:
+        // After an abort or a stop_when_exhausted trip the remaining
+        // ingress is drained and discarded.
+        if (!aborted_ && !stopping_) {
+          if (Status st = Route(std::move(arrival), now); !st.ok()) {
+            Abort(st);
+          }
+        }
+        break;
+      case QueuePop::kTimeout:
+        break;
+      case QueuePop::kClosed:
+        input_done = true;
+        break;
+    }
+    if (!aborted_ && !stopping_) {
+      if (Status st = CloseExpired(now); !st.ok()) Abort(st);
+      if (Status st = EvictIdle(now); !st.ok()) Abort(st);
+    }
+  }
+
+  // Ingress finished: flush every session's trailing partial window, then
+  // drain the backlog and the in-flight jobs to zero. A stop_when_exhausted
+  // trip skips the flush — the run ends at the refusal, like the
+  // single-feed runner.
+  if (!aborted_ && !stopping_) {
+    const SteadyClock::time_point now = SteadyClock::now();
+    for (const auto& name : feed_order_) {
+      FeedSlot& slot = feeds_.at(name);
+      if (slot.session && slot.session->uncovered() > 0) {
+        if (Status st = slot.session->CloseWindow(WindowClose::kFinal, now);
+            !st.ok()) {
+          Abort(st);
+          break;
+        }
+      }
+    }
+  }
+  SubmitReady();
+  while (in_flight_ > 0) {
+    std::optional<std::unique_ptr<Completion>> completion =
+        completions_->Pop();
+    if (!completion.has_value()) break;  // defensive; queue is not closed
+    HandleCompletion(std::move(*completion));
+    SubmitReady();
+  }
+  pool_->WaitIdle();
+  completions_->Close();
+  BuildFinalReport();
+  report_.wall_seconds = wall.ElapsedSeconds();
+}
+
+}  // namespace frt

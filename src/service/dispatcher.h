@@ -1,0 +1,248 @@
+// ServiceDispatcher: the multi-feed anonymization service.
+//
+// One dispatcher multiplexes many independent trajectory feeds through one
+// shared WorkStealingPool:
+//
+//   ingest threads --Offer--> [arrival BoundedQueue]      (backpressure)
+//                                   |
+//                         dispatcher thread
+//                 route -> FeedSession -> close windows
+//                 (count, --close-after-ms deadline, final)
+//                                   |
+//                     admission (per-feed budgets)
+//                                   |
+//                  pool.Submit(window anonymization job)
+//                                   |
+//            workers --> [completion BoundedQueue] --> dispatcher
+//                 charge budgets -> sink (per-feed window order)
+//
+// Threading model. Offer() is called from any number of ingest threads and
+// blocks on the bounded arrival queue — that is the service's ingress
+// backpressure. ONE dispatcher thread owns every session (assembler,
+// accountants, reports), so budget accounting needs no locks; the only
+// work it delegates is the pure (window, rng) -> published-dataset batch
+// job, which runs on the shared pool with per-window state it owns
+// outright. Workers hand results back through the completion queue, whose
+// capacity equals the in-flight cap, so a worker never blocks on it.
+//
+// Ordering and determinism. Windows of ONE feed execute strictly one at a
+// time, in close order: admission always sees the predecessor's recorded
+// spend, sinks observe each feed in window order, and the per-feed RNG
+// stream (seeded from master seed + feed id + generation, forked per
+// window at close) never depends on other feeds. Cross-feed concurrency —
+// up to max_in_flight window jobs from distinct feeds — is where the pool
+// earns its keep. Consequence: a feed's published windows are
+// bit-identical between a solo run and any multiplexed run at the same
+// seed, which is also what makes per-feed budget isolation testable.
+//
+// Window closure. Count (the buffer reached window_size), wall-clock
+// deadline (--close-after-ms: a non-empty window is published no later
+// than that many ms after its oldest uncovered arrival; the latency SLO
+// for trickle feeds), and final (input finished). Idle sessions
+// (--evict-idle-ms) are flushed and torn down; their budget carries into
+// any successor session conservatively (see feed_session.h).
+
+#ifndef FRT_SERVICE_DISPATCHER_H_
+#define FRT_SERVICE_DISPATCHER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/result.h"
+#include "runtime/work_stealing_pool.h"
+#include "service/feed_session.h"
+#include "stream/stream_runner.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// Configuration of the multi-feed service.
+struct ServiceConfig {
+  /// Per-feed streaming behavior: window geometry, budgets/accounting,
+  /// close_after_ms, batch pipeline. Every session applies this config to
+  /// its own feed; `stream.batch.pool`, threads and dispatch are managed
+  /// by the service (window jobs run single-threaded on the shared pool —
+  /// parallelism is across windows, not within one).
+  StreamRunnerConfig stream;
+  /// Shared pool workers. 0 picks max(2, hardware concurrency): even on
+  /// one core the service needs a worker besides the dispatcher so feeds
+  /// overlap.
+  unsigned pool_threads = 0;
+  /// Concurrent window jobs across all feeds; backpressure on submission.
+  /// 0 means 2x pool workers.
+  size_t max_in_flight = 0;
+  /// Arrival queue capacity, in trajectories; the ingress backpressure
+  /// bound. 0 means 4x window_size.
+  size_t arrival_queue_capacity = 0;
+  /// Closed-but-not-yet-executed windows held across all sessions before
+  /// the dispatcher pauses ingress (arrivals then pile into the bounded
+  /// queue and Offer blocks — end-to-end backpressure when feeds outrun
+  /// the pool). 0 means 4x max_in_flight.
+  size_t max_backlog_windows = 0;
+  /// Sessions with no arrival for this long are flushed and evicted
+  /// (budget state carries into any successor). 0 disables eviction.
+  int64_t idle_evict_ms = 0;
+  /// Close-wait / publish-latency samples retained for the p50/p99
+  /// aggregates (newest kept). 0 keeps none.
+  size_t max_latency_samples = 1 << 14;
+};
+
+/// Per-feed outcome, merged across the feed's session generations.
+struct FeedReport {
+  std::string feed;
+  /// Session generations this feed went through (1 = never evicted).
+  uint64_t sessions = 1;
+  /// True when the feed's session was idle-evicted and not re-opened.
+  bool evicted = false;
+  /// Merged per-feed streaming report. Counters are summed across
+  /// generations; epsilon fields are the latest session's (which already
+  /// carry the predecessors' spend).
+  StreamReport stream;
+};
+
+/// Service-wide aggregates over one Run.
+struct ServiceReport {
+  size_t feeds = 0;
+  size_t sessions_created = 0;
+  size_t sessions_evicted = 0;
+  size_t peak_active_sessions = 0;
+  size_t windows_closed = 0;
+  size_t windows_published = 0;
+  size_t windows_refused = 0;
+  size_t windows_deadline_closed = 0;
+  size_t trajectories_in = 0;
+  size_t trajectories_published = 0;
+  size_t trajectories_refused = 0;
+  size_t trajectories_evicted = 0;
+  double wall_seconds = 0.0;
+  /// Oldest-arrival -> window-close latency percentiles in ms — the
+  /// distribution --close-after-ms bounds.
+  double close_wait_p50_ms = 0.0;
+  double close_wait_p99_ms = 0.0;
+  double close_wait_max_ms = 0.0;
+  /// Window-close -> published (queueing + anonymization) in ms.
+  double publish_p50_ms = 0.0;
+  double publish_p99_ms = 0.0;
+  double publish_max_ms = 0.0;
+  /// Per-feed reports, sorted by feed id.
+  std::vector<FeedReport> feeds_report;
+};
+
+/// True when any feed dropped anything on budget; frt_serve maps this to
+/// exit code 3.
+bool ServiceHadRefusals(const ServiceReport& report);
+
+/// Receives each published window on the dispatcher thread, per feed in
+/// window order (feeds interleave). A non-OK return aborts the service.
+using ServiceSink = std::function<Status(
+    const std::string& feed, const Dataset& published, const WindowReport&)>;
+
+/// \brief Session-oriented serving front-end (see file comment).
+class ServiceDispatcher {
+ public:
+  ServiceDispatcher(ServiceConfig config, ServiceSink sink);
+  /// Finishes (abandoning queued input) if the caller never called
+  /// Finish().
+  ~ServiceDispatcher();
+
+  ServiceDispatcher(const ServiceDispatcher&) = delete;
+  ServiceDispatcher& operator=(const ServiceDispatcher&) = delete;
+
+  /// \brief Spawns the shared pool and the dispatcher thread. `seed` is
+  /// the master seed every per-feed RNG stream derives from.
+  Status Start(uint64_t seed);
+
+  /// \brief Hands one arrival to the service, blocking when the arrival
+  /// queue is full (ingress backpressure). Thread-safe. Returns false once
+  /// the service is finishing or aborted — the producer should stop.
+  bool Offer(std::string feed, Trajectory t);
+
+  /// \brief Closes ingress, drains every session (final partial windows
+  /// included), waits for all in-flight jobs, and joins the dispatcher.
+  /// Returns the first error the run hit (ingest routing, pipeline, sink,
+  /// or accounting); budget refusals are NOT errors — see report().
+  Status Finish();
+
+  /// Aggregated diagnostics; valid after Finish().
+  const ServiceReport& report() const { return report_; }
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Completion {
+    WindowJob job;
+    Result<Dataset> published = Status::Internal("job not executed");
+    BatchReport batch;
+  };
+  struct Arrival {
+    std::string feed;
+    Trajectory trajectory;
+  };
+  /// A feed's state across session generations (dispatcher thread only).
+  struct FeedSlot {
+    std::unique_ptr<FeedSession> session;  ///< null while evicted
+    FeedBudgetCarry carry;
+    uint64_t generations = 0;
+    /// Counters merged out of evicted generations.
+    StreamReport merged;
+    bool ever_evicted = false;
+  };
+
+  void DispatcherLoop();
+  /// Routes one arrival into its session (reviving evicted feeds).
+  Status Route(Arrival&& arrival, std::chrono::steady_clock::time_point now);
+  /// Closes windows whose close_after_ms deadline has passed.
+  Status CloseExpired(std::chrono::steady_clock::time_point now);
+  /// Flushes and tears down sessions idle past idle_evict_ms.
+  Status EvictIdle(std::chrono::steady_clock::time_point now);
+  /// Submits admissible backlog windows while in-flight capacity lasts.
+  void SubmitReady();
+  /// Absorbs one finished job: accounting, sink, next submission.
+  void HandleCompletion(std::unique_ptr<Completion> completion);
+  /// Records a fatal error once and stops admitting new work.
+  void Abort(Status status);
+  /// Merges `session`'s report into its slot and tears the session down.
+  void EvictSession(FeedSlot* slot);
+  void BuildFinalReport();
+
+  ServiceConfig config_;
+  ServiceSink sink_;
+  uint64_t master_seed_ = 0;
+  std::unique_ptr<WorkStealingPool> pool_;
+  std::unique_ptr<BoundedQueue<Arrival>> arrivals_;
+  std::unique_ptr<BoundedQueue<std::unique_ptr<Completion>>> completions_;
+  std::thread dispatcher_;
+  bool started_ = false;
+  bool finished_ = false;
+
+  // Dispatcher-thread state.
+  std::unordered_map<std::string, FeedSlot> feeds_;
+  std::vector<std::string> feed_order_;  ///< first-seen order
+  size_t active_sessions_ = 0;
+  size_t in_flight_ = 0;
+  /// Rotating start of the SubmitReady scan, so no feed owns the front of
+  /// the submission order when slots are scarce.
+  size_t submit_rr_ = 0;
+  bool aborted_ = false;
+  /// stream.stop_when_exhausted tripped: ingress is closed and discarded,
+  /// closed windows drain, and the run ends cleanly (not an error).
+  bool stopping_ = false;
+  Status error_ = Status::OK();
+  std::vector<double> close_wait_samples_;
+  std::vector<double> publish_samples_;
+  size_t close_wait_next_ = 0;  ///< ring cursors once the sample cap hits
+  size_t publish_next_ = 0;
+  ServiceReport report_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_SERVICE_DISPATCHER_H_

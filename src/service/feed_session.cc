@@ -1,0 +1,178 @@
+#include "service/feed_session.h"
+
+#include <vector>
+
+namespace frt {
+
+FeedSession::FeedSession(std::string feed, const StreamRunnerConfig& config,
+                         uint64_t master_seed, uint64_t generation,
+                         const FeedBudgetCarry& carry)
+    : feed_(std::move(feed)),
+      config_(config),
+      generation_(generation),
+      index_offset_(carry.windows_closed),
+      assembler_(config.window_size, config.window_stride),
+      rng_(FeedStreamSeed(master_seed, feed_, generation)) {
+  accountant_ = (config_.accounting == BudgetAccounting::kWholesale &&
+                 config_.total_budget > 0.0)
+                    ? PrivacyAccountant(config_.total_budget)
+                    : PrivacyAccountant();
+  accountant_.set_max_ledger_entries(config_.max_window_reports);
+  object_accountant_ =
+      (config_.accounting == BudgetAccounting::kPerObject &&
+       config_.per_object_budget > 0.0)
+          ? ObjectBudgetAccountant(config_.per_object_budget)
+          : ObjectBudgetAccountant();
+  object_accountant_.set_max_tracked_objects(config_.max_tracked_objects);
+  if (carry.wholesale_spent > 0.0) {
+    accountant_.PreloadSpent(carry.wholesale_spent,
+                             "carried from evicted session");
+  }
+  if (carry.per_object_floor > 0.0) {
+    object_accountant_.PreloadFloor(carry.per_object_floor);
+  }
+  report_.epsilon_spent = config_.accounting == BudgetAccounting::kPerObject
+                              ? object_accountant_.max_spent()
+                              : accountant_.spent();
+  report_.epsilon_wholesale_equivalent = accountant_.spent();
+}
+
+void FeedSession::Offer(Trajectory t,
+                        std::chrono::steady_clock::time_point now) {
+  last_arrival_ = now;
+  if (assembler_.uncovered() == 0) oldest_uncovered_at_ = now;
+  assembler_.Push(std::move(t));
+  ++report_.trajectories_in;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+FeedSession::CloseDeadline() const {
+  if (config_.close_after_ms <= 0 || assembler_.uncovered() == 0) {
+    return std::nullopt;
+  }
+  return oldest_uncovered_at_ + CloseTimerDelay(config_.close_after_ms);
+}
+
+Status FeedSession::CloseWindow(WindowClose reason,
+                                std::chrono::steady_clock::time_point now) {
+  const std::chrono::steady_clock::time_point oldest = oldest_uncovered_at_;
+  Result<Dataset> window = reason == WindowClose::kFinal
+                               ? assembler_.CloseFinal()
+                               : assembler_.CloseWindow();
+  if (!window.ok()) {
+    return Status::InvalidArgument(
+        "feed " + feed_ + " window " +
+        std::to_string(index_offset_ + report_.windows_closed) + ": " +
+        window.status().message() +
+        " (each object may appear once per window)");
+  }
+  WindowJob job;
+  job.feed = feed_;
+  job.generation = generation_;
+  // Indices continue across session generations (index_offset_), so a
+  // revived feed's windows never repeat an index.
+  job.index = index_offset_ + report_.windows_closed;
+  job.reason = reason;
+  job.window = std::move(*window);
+  // Fork at close time, in close order, BEFORE admission: the per-feed RNG
+  // stream is then a pure function of the feed's own arrival sequence,
+  // never of how much budget remains or what other feeds are doing.
+  job.rng = rng_.Fork();
+  job.oldest_arrival = oldest;
+  job.closed_at = now;
+  job.close_wait_ms =
+      std::chrono::duration<double, std::milli>(now - oldest).count();
+  ++report_.windows_closed;
+  if (reason == WindowClose::kDeadline) ++report_.windows_deadline_closed;
+  backlog_.push_back(std::move(job));
+  return Status::OK();
+}
+
+std::optional<WindowJob> FeedSession::NextSubmittable() {
+  if (busy_) return std::nullopt;
+  const double window_epsilon = config_.batch.pipeline.epsilon_global +
+                                config_.batch.pipeline.epsilon_local;
+  while (!backlog_.empty()) {
+    WindowJob job = std::move(backlog_.front());
+    backlog_.pop_front();
+    // Shared admission control with the single-feed runner (see
+    // AdmitWindowOnBudget) — only the log prefix differs.
+    const bool admitted = AdmitWindowOnBudget(
+        &job.window, job.index, window_epsilon, config_.accounting,
+        config_.evict_exhausted, accountant_, object_accountant_, &report_,
+        &job.evicted, "feed " + feed_ + ": ");
+    if (!admitted) continue;
+    busy_ = true;
+    return job;
+  }
+  return std::nullopt;
+}
+
+Result<WindowReport> FeedSession::Complete(const WindowJob& job,
+                                           const Dataset& published,
+                                           const BatchReport& batch,
+                                           double publish_latency_ms) {
+  busy_ = false;
+  WindowReport window_report;
+  window_report.index = job.index;
+  window_report.close_reason = job.reason;
+  window_report.close_wait_ms = job.close_wait_ms;
+  window_report.publish_latency_ms = publish_latency_ms;
+  window_report.trajectories = published.size();
+  window_report.trajectories_evicted = job.evicted;
+  window_report.epsilon_spent = batch.epsilon_spent;
+  window_report.batch = batch;
+  // The id lists are consumed below; the bounded report history keeps only
+  // the scalar diagnostics (same policy as StreamRunner).
+  window_report.batch.shard_object_ids.clear();
+  if (window_report.epsilon_spent > 0.0) {
+    if (config_.accounting == BudgetAccounting::kPerObject) {
+      // Charge exactly the ids the batch consumed, at the window's spend
+      // (max over shards; uniform per-shard epsilons make it exact).
+      // SpendWindow re-verifies admission transactionally.
+      std::vector<TrajId> released;
+      released.reserve(published.size());
+      for (const auto& shard_ids : batch.shard_object_ids) {
+        released.insert(released.end(), shard_ids.begin(), shard_ids.end());
+      }
+      FRT_RETURN_IF_ERROR(object_accountant_.SpendWindow(
+          released, window_report.epsilon_spent));
+    }
+    // The wholesale ledger tracks in both modes so per-object feeds can
+    // report the pessimism gap.
+    FRT_RETURN_IF_ERROR(accountant_.Spend(
+        window_report.epsilon_spent,
+        "feed " + feed_ + " window " + std::to_string(job.index) +
+            " (sequential composition)"));
+  }
+  const bool per_object =
+      config_.accounting == BudgetAccounting::kPerObject;
+  window_report.epsilon_total = per_object ? object_accountant_.max_spent()
+                                           : accountant_.spent();
+  report_.epsilon_spent = window_report.epsilon_total;
+  report_.epsilon_wholesale_equivalent = accountant_.spent();
+  return window_report;
+}
+
+void FeedSession::RecordPublished(const WindowReport& window_report) {
+  // Split from Complete so the budget is spent either way but the window
+  // only counts as published once the sink accepted it — the same
+  // ordering StreamRunner::ProcessWindow has always had.
+  ++report_.windows_published;
+  report_.trajectories_published += window_report.trajectories;
+  report_.windows.push_back(window_report);
+  if (config_.max_window_reports > 0 &&
+      report_.windows.size() > config_.max_window_reports) {
+    report_.windows.erase(report_.windows.begin());
+  }
+}
+
+FeedBudgetCarry FeedSession::Carry() const {
+  FeedBudgetCarry carry;
+  carry.wholesale_spent = accountant_.spent();
+  carry.per_object_floor = object_accountant_.max_spent();
+  carry.windows_closed = index_offset_ + report_.windows_closed;
+  return carry;
+}
+
+}  // namespace frt

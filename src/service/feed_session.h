@@ -1,0 +1,204 @@
+// FeedSession: per-feed state of the multi-feed anonymization service.
+//
+// The paper's guarantee is per moving object within one feed; feeds are
+// independent datasets, so their budgets must never interact. A session
+// therefore owns everything whose sharing would couple feeds:
+//
+//   - its ring-buffer WindowAssembler (stream/window_assembler.h, the same
+//     geometry the single-feed StreamRunner uses),
+//   - its PrivacyAccountant / ObjectBudgetAccountant pair (wholesale or
+//     per-object cross-window accounting, per feed),
+//   - its RNG stream, derived deterministically from (master seed, feed
+//     id, session generation) — NOT from arrival interleaving — so a
+//     feed's published windows are bit-identical whether it is served solo
+//     or multiplexed with any number of other feeds,
+//   - its backlog of closed-but-not-yet-anonymized windows and its report.
+//
+// The session is a passive state machine driven exclusively by the
+// ServiceDispatcher's single consumer thread; nothing here is
+// thread-safe. Anonymization itself happens elsewhere (a WindowJob on the
+// shared pool); the session hands jobs out (NextSubmittable, which is
+// where admission control runs) and absorbs their results (Complete,
+// which charges the accountants and finalizes the WindowReport).
+//
+// Sessions are evictable: when a feed goes idle its session can be torn
+// down to reclaim the assembler and ledger memory, and a later arrival
+// opens a fresh session (next generation). Budget state survives the
+// hand-off conservatively — the wholesale spend is carried exactly, and
+// every object of the resumed feed starts at the evicted session's
+// maximum per-object spend (ObjectBudgetAccountant::PreloadFloor), so
+// eviction can only over-charge, never leak budget.
+
+#ifndef FRT_SERVICE_FEED_SESSION_H_
+#define FRT_SERVICE_FEED_SESSION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/accountant.h"
+#include "dp/object_accountant.h"
+#include "stream/stream_runner.h"
+#include "stream/window_assembler.h"
+#include "traj/dataset.h"
+
+namespace frt {
+
+/// \brief Deterministic per-feed RNG seed: a pure function of the master
+/// seed, the feed id, and the session generation. Independent of arrival
+/// interleaving, session creation order, and every other feed — the root
+/// of the solo-vs-multiplexed bit-identity guarantee.
+inline uint64_t FeedStreamSeed(uint64_t master_seed, const std::string& feed,
+                               uint64_t generation) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 over the feed id
+  for (const char c : feed) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  uint64_t s = master_seed;
+  uint64_t mixed = SplitMix64(s) ^ h;
+  mixed += generation * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(mixed);
+}
+
+/// One closed window on its way to the shared pool. Self-contained: the
+/// worker needs nothing from the session (whose lifetime it must not
+/// depend on) beyond this job and the shared batch config.
+struct WindowJob {
+  std::string feed;
+  uint64_t generation = 0;
+  /// Per-feed window index, cumulative across session generations.
+  size_t index = 0;
+  WindowClose reason = WindowClose::kCount;
+  Dataset window;
+  /// Forked from the session stream at close time, in close order.
+  Rng rng;
+  /// Exhausted objects evicted at admission (per-object mode).
+  size_t evicted = 0;
+  std::chrono::steady_clock::time_point oldest_arrival{};
+  std::chrono::steady_clock::time_point closed_at{};
+  /// Oldest uncovered arrival -> close, the SLO --close-after-ms bounds.
+  double close_wait_ms = 0.0;
+};
+
+/// State carried from an evicted session into its successor.
+struct FeedBudgetCarry {
+  double wholesale_spent = 0.0;   ///< exact ledger total at eviction
+  double per_object_floor = 0.0;  ///< max per-object spend at eviction
+  /// Windows the feed closed across all prior generations, so window
+  /// indices keep counting up instead of restarting at 0 per session.
+  size_t windows_closed = 0;
+};
+
+/// \brief Per-feed session state machine (see file comment). Driven only
+/// by the dispatcher thread.
+class FeedSession {
+ public:
+  /// `config` is the per-feed streaming config shared by every session of
+  /// the service (window geometry, budgets, batch pipeline). `carry` is
+  /// zeroed for generation 0 and holds the evicted predecessor's budget
+  /// state otherwise.
+  FeedSession(std::string feed, const StreamRunnerConfig& config,
+              uint64_t master_seed, uint64_t generation,
+              const FeedBudgetCarry& carry);
+
+  /// Buffers one arrival and stamps the idle/deadline clocks.
+  void Offer(Trajectory t, std::chrono::steady_clock::time_point now);
+
+  /// True when a full count-based window is buffered.
+  bool WindowReady() const { return assembler_.WindowReady(); }
+
+  /// Deadline at which the buffered partial window must close
+  /// (close_after_ms armed via CloseTimerDelay); nullopt when nothing is
+  /// pending or time-based closure is off.
+  std::optional<std::chrono::steady_clock::time_point> CloseDeadline() const;
+
+  /// \brief Closes the next window over the buffer and appends it to the
+  /// backlog. Fails (InvalidArgument naming the per-feed window index)
+  /// when two buffered trajectories share an object id.
+  Status CloseWindow(WindowClose reason,
+                     std::chrono::steady_clock::time_point now);
+
+  /// \brief Pops the next backlog window that survives admission control,
+  /// marking the session busy. Windows refused on budget are recorded and
+  /// skipped. Returns nullopt when the backlog drains (or the session is
+  /// already busy — per-feed windows execute strictly one at a time, so
+  /// admission always sees the predecessor's spend).
+  std::optional<WindowJob> NextSubmittable();
+
+  /// \brief Absorbs a finished job: charges the accountants with the ids
+  /// the batch actually consumed, finalizes the WindowReport (recorded in
+  /// the session report), and frees the session for its next submission.
+  /// `publish_latency_ms` is close -> completion-handled.
+  Result<WindowReport> Complete(const WindowJob& job,
+                                const Dataset& published,
+                                const BatchReport& batch,
+                                double publish_latency_ms);
+
+  /// Counts a completed window as published and retains its report. The
+  /// dispatcher calls this only after the sink accepted the window, so a
+  /// sink failure leaves the budget spent but the window unpublished —
+  /// the same ordering the single-feed runner enforces.
+  void RecordPublished(const WindowReport& window_report);
+
+  /// Releases the busy latch without charging anything — the dispatcher's
+  /// path for jobs whose results are discarded (failed pipeline, aborted
+  /// service).
+  void Abandon() { busy_ = false; }
+
+  /// True when nothing is pending anywhere: no uncovered arrivals, no
+  /// backlog, no job in flight. The only state an eviction may tear down.
+  bool Drained() const {
+    return !busy_ && backlog_.empty() && assembler_.uncovered() == 0;
+  }
+
+  /// Budget state a successor session must inherit if this one is evicted.
+  FeedBudgetCarry Carry() const;
+
+  const std::string& feed() const { return feed_; }
+  uint64_t generation() const { return generation_; }
+  bool busy() const { return busy_; }
+  size_t backlog_size() const { return backlog_.size(); }
+  size_t uncovered() const { return assembler_.uncovered(); }
+  std::chrono::steady_clock::time_point last_arrival() const {
+    return last_arrival_;
+  }
+  bool evict_when_drained() const { return evict_when_drained_; }
+  void set_evict_when_drained(bool v) { evict_when_drained_ = v; }
+
+  /// Session-local report (same shape as the single-feed runner's).
+  const StreamReport& report() const { return report_; }
+  const ObjectBudgetAccountant& object_accountant() const {
+    return object_accountant_;
+  }
+  const PrivacyAccountant& accountant() const { return accountant_; }
+  bool had_refusals() const { return StreamHadRefusals(report_); }
+
+ private:
+  std::string feed_;
+  const StreamRunnerConfig& config_;
+  uint64_t generation_ = 0;
+  /// Windows closed by prior generations; added to every per-feed window
+  /// index this session emits.
+  size_t index_offset_ = 0;
+  WindowAssembler assembler_;
+  Rng rng_;
+  PrivacyAccountant accountant_;
+  ObjectBudgetAccountant object_accountant_;
+  std::deque<WindowJob> backlog_;
+  StreamReport report_;
+  bool busy_ = false;
+  bool evict_when_drained_ = false;
+  std::chrono::steady_clock::time_point last_arrival_{};
+  std::chrono::steady_clock::time_point oldest_uncovered_at_{};
+};
+
+}  // namespace frt
+
+#endif  // FRT_SERVICE_FEED_SESSION_H_

@@ -1,6 +1,5 @@
 #include "stream/stream_runner.h"
 
-#include <deque>
 #include <memory>
 #include <thread>
 #include <unordered_set>
@@ -24,44 +23,50 @@ StreamRunner::StreamRunner(StreamRunnerConfig config)
   }
 }
 
-bool StreamRunner::AdmitWholesale(const Dataset& window, size_t index,
-                                  double window_epsilon) {
-  if (!accountant_.enforcing() ||
-      accountant_.remaining() + 1e-12 >= window_epsilon) {
+namespace {
+
+bool AdmitWholesaleImpl(const Dataset& window, size_t index,
+                        double window_epsilon,
+                        const PrivacyAccountant& accountant,
+                        StreamReport* report,
+                        const std::string& log_prefix) {
+  if (!accountant.enforcing() ||
+      accountant.remaining() + 1e-12 >= window_epsilon) {
     return true;
   }
-  ++report_.windows_refused;
-  report_.trajectories_refused += window.size();
-  // The per-window cost is constant, so no later window can fit either.
-  refused_ = true;
-  FRT_LOG(Warning) << "privacy budget exhausted: refusing window #" << index
+  ++report->windows_refused;
+  report->trajectories_refused += window.size();
+  FRT_LOG(Warning) << log_prefix
+                   << "privacy budget exhausted: refusing window #" << index
                    << " (" << window.size() << " trajectories); spent "
-                   << accountant_.spent() << " of "
-                   << accountant_.total_budget() << ", next window needs "
+                   << accountant.spent() << " of "
+                   << accountant.total_budget() << ", next window needs "
                    << window_epsilon;
   return false;
 }
 
-bool StreamRunner::AdmitPerObject(Dataset* window, size_t index,
-                                  double window_epsilon, size_t* evicted) {
-  if (!object_accountant_.enforcing()) return true;
+bool AdmitPerObjectImpl(Dataset* window, size_t index, double window_epsilon,
+                        bool evict_exhausted,
+                        const ObjectBudgetAccountant& accountant,
+                        StreamReport* report, size_t* evicted,
+                        const std::string& log_prefix) {
+  if (!accountant.enforcing()) return true;
   std::vector<TrajId> ids;
   ids.reserve(window->size());
   for (const auto& t : window->trajectories()) ids.push_back(t.id());
   std::vector<TrajId> admissible, exhausted;
-  object_accountant_.FilterAdmissible(ids, window_epsilon, &admissible,
-                                      &exhausted);
+  accountant.FilterAdmissible(ids, window_epsilon, &admissible, &exhausted);
   if (exhausted.empty()) return true;
-  if (!config_.evict_exhausted || admissible.empty()) {
-    ++report_.windows_refused;
-    report_.trajectories_refused += window->size();
-    refused_ = true;
-    FRT_LOG(Warning) << "per-object budget exhausted: refusing window #"
+  if (!evict_exhausted || admissible.empty()) {
+    ++report->windows_refused;
+    report->trajectories_refused += window->size();
+    FRT_LOG(Warning) << log_prefix
+                     << "per-object budget exhausted: refusing window #"
                      << index << " (" << window->size() << " trajectories, "
                      << exhausted.size() << " exhausted object(s); object "
                      << exhausted.front() << " spent "
-                     << object_accountant_.spent(exhausted.front()) << " of "
-                     << object_accountant_.per_object_budget()
+                     << accountant.spent(exhausted.front()) << " of "
+                     << accountant.per_object_budget()
                      << ", next window needs " << window_epsilon << ")";
     return false;
   }
@@ -73,31 +78,57 @@ bool StreamRunner::AdmitPerObject(Dataset* window, size_t index,
   }
   *window = Dataset(std::move(kept));
   *evicted = exhausted.size();
-  report_.trajectories_evicted += exhausted.size();
-  FRT_LOG(Warning) << "per-object budget: evicting " << exhausted.size()
+  report->trajectories_evicted += exhausted.size();
+  FRT_LOG(Warning) << log_prefix << "per-object budget: evicting "
+                   << exhausted.size()
                    << " exhausted object(s) from window #" << index << " ("
                    << window->size() << " remain; object "
                    << exhausted.front() << " spent "
-                   << object_accountant_.spent(exhausted.front()) << " of "
-                   << object_accountant_.per_object_budget() << ")";
+                   << accountant.spent(exhausted.front()) << " of "
+                   << accountant.per_object_budget() << ")";
   return true;
 }
 
-Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
-                                   Rng& rng, WorkStealingPool* pool) {
+}  // namespace
+
+bool AdmitWindowOnBudget(Dataset* window, size_t index,
+                         double window_epsilon, BudgetAccounting accounting,
+                         bool evict_exhausted,
+                         const PrivacyAccountant& accountant,
+                         const ObjectBudgetAccountant& object_accountant,
+                         StreamReport* report, size_t* evicted,
+                         const std::string& log_prefix) {
+  return accounting == BudgetAccounting::kPerObject
+             ? AdmitPerObjectImpl(window, index, window_epsilon,
+                                  evict_exhausted, object_accountant,
+                                  report, evicted, log_prefix)
+             : AdmitWholesaleImpl(*window, index, window_epsilon, accountant,
+                                  report, log_prefix);
+}
+
+Status StreamRunner::ProcessWindow(Dataset&& window, WindowClose reason,
+                                   const WindowSink& sink, Rng& rng,
+                                   WorkStealingPool* pool) {
   const size_t index = report_.windows_closed;
   ++report_.windows_closed;
+  if (reason == WindowClose::kDeadline) ++report_.windows_deadline_closed;
   // Fork before the budget check so the RNG stream consumed per window is
   // independent of how much budget happens to remain.
   Rng window_rng = rng.Fork();
   const double window_epsilon = config_.batch.pipeline.epsilon_global +
                                 config_.batch.pipeline.epsilon_local;
   size_t evicted = 0;
-  const bool admitted =
-      config_.accounting == BudgetAccounting::kPerObject
-          ? AdmitPerObject(&window, index, window_epsilon, &evicted)
-          : AdmitWholesale(window, index, window_epsilon);
-  if (!admitted) return Status::OK();
+  const bool admitted = AdmitWindowOnBudget(
+      &window, index, window_epsilon, config_.accounting,
+      config_.evict_exhausted, accountant_, object_accountant_, &report_,
+      &evicted, /*log_prefix=*/"");
+  if (!admitted) {
+    // Under kWholesale the per-window cost is constant, so no later
+    // window can fit either; under kPerObject the latch only drives
+    // stop_when_exhausted.
+    refused_ = true;
+    return Status::OK();
+  }
 
   BatchRunnerConfig batch_config = config_.batch;
   batch_config.pool = pool;
@@ -106,6 +137,7 @@ Status StreamRunner::ProcessWindow(Dataset&& window, const WindowSink& sink,
 
   WindowReport window_report;
   window_report.index = index;
+  window_report.close_reason = reason;
   window_report.trajectories = published.size();
   window_report.trajectories_evicted = evicted;
   window_report.epsilon_spent = runner.report().epsilon_spent;
@@ -200,51 +232,68 @@ Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
     queue.Close();
   });
 
-  // Ring buffer of pending trajectories. A window closes over the whole
-  // buffer once it holds window_size arrivals; the oldest `stride` are
-  // then retired, so with stride < window_size the remaining tail overlaps
-  // into the next window (sliding windows). `uncovered` counts arrivals
-  // not yet part of any closed window — what the trailing partial window
-  // must still cover at end of stream.
-  const size_t stride = config_.window_stride;
-  std::deque<Trajectory> pending;
-  size_t uncovered = 0;
+  // Ring buffer of pending trajectories (stream/window_assembler.h): a
+  // window closes over the whole buffer once it holds window_size
+  // arrivals — or, with close_after_ms, once its oldest uncovered arrival
+  // has waited out the deadline — and the oldest `stride` then retire, so
+  // with stride < window_size the remaining tail overlaps into the next
+  // window.
+  WindowAssembler assembler(config_.window_size, config_.window_stride);
+  const bool timed = config_.close_after_ms > 0;
+  const std::chrono::steady_clock::duration close_delay =
+      CloseTimerDelay(config_.close_after_ms);
+  std::chrono::steady_clock::time_point oldest_uncovered_at{};
 
-  auto close_window = [&]() -> Status {
-    Dataset window;
-    // Within one window each object must appear exactly once (the
-    // parallel-composition argument puts each object in one shard).
-    const bool overlaps = stride < config_.window_size && !pending.empty();
-    for (auto& t : pending) {
-      Status st = overlaps ? window.Add(t) : window.Add(std::move(t));
-      if (!st.ok()) {
-        return Status::InvalidArgument(
-            "window " + std::to_string(report_.windows_closed) + ": " +
-            st.message() + " (each object may appear once per window)");
-      }
+  auto close_window = [&](WindowClose reason) -> Status {
+    Result<Dataset> window = assembler.CloseWindow();
+    if (!window.ok()) {
+      return Status::InvalidArgument(
+          "window " + std::to_string(report_.windows_closed) + ": " +
+          window.status().message() +
+          " (each object may appear once per window)");
     }
-    if (overlaps) {
-      // The tail re-enters the next window, so only the stride retires.
-      for (size_t i = 0; i < stride && !pending.empty(); ++i) {
-        pending.pop_front();
-      }
-    } else {
-      pending.clear();
-    }
-    uncovered = 0;
-    return ProcessWindow(std::move(window), sink, rng, pool.get());
+    return ProcessWindow(std::move(*window), reason, sink, rng, pool.get());
   };
 
   Status run_status = Status::OK();
   bool stopped_early = false;
-  while (true) {
-    std::optional<Trajectory> t = queue.Pop();
-    if (!t.has_value()) break;
+  bool input_done = false;
+  while (!input_done) {
+    std::optional<Trajectory> t;
+    if (timed && assembler.uncovered() > 0) {
+      // Arrivals are pending a window: wait only until their closure
+      // deadline, then publish what the buffer holds.
+      Trajectory item;
+      switch (queue.PopUntil(oldest_uncovered_at + close_delay, &item)) {
+        case QueuePop::kItem:
+          t = std::move(item);
+          break;
+        case QueuePop::kTimeout: {
+          if (Status st = close_window(WindowClose::kDeadline); !st.ok()) {
+            run_status = st;
+            input_done = true;
+          }
+          if (refused_ && config_.stop_when_exhausted) {
+            stopped_early = true;
+            input_done = true;
+          }
+          continue;
+        }
+        case QueuePop::kClosed:
+          input_done = true;
+          continue;
+      }
+    } else {
+      t = queue.Pop();
+      if (!t.has_value()) break;
+    }
     ++report_.trajectories_in;
-    pending.push_back(std::move(*t));
-    ++uncovered;
-    if (pending.size() >= config_.window_size) {
-      if (Status st = close_window(); !st.ok()) {
+    if (timed && assembler.uncovered() == 0) {
+      oldest_uncovered_at = std::chrono::steady_clock::now();
+    }
+    assembler.Push(std::move(*t));
+    if (assembler.WindowReady()) {
+      if (Status st = close_window(WindowClose::kCount); !st.ok()) {
         run_status = st;
         break;
       }
@@ -263,22 +312,20 @@ Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
   queue.Close();
   producer.join();
   if (run_status.ok()) run_status = ingest_status;
-  if (run_status.ok() && !stopped_early && uncovered > 0) {
+  if (run_status.ok() && !stopped_early && assembler.uncovered() > 0) {
     // The partially-filled next window: under sliding windows it starts
     // with the overlap tail retained above, under tumbling windows it is
     // exactly the arrivals since the last close. Movable either way — the
     // stream is over, nothing re-enters a later window.
-    Dataset window;
-    for (auto& t : pending) {
-      if (Status st = window.Add(std::move(t)); !st.ok()) {
-        run_status = Status::InvalidArgument(
-            "window " + std::to_string(report_.windows_closed) + ": " +
-            st.message() + " (each object may appear once per window)");
-        break;
-      }
-    }
-    if (run_status.ok()) {
-      run_status = ProcessWindow(std::move(window), sink, rng, pool.get());
+    Result<Dataset> window = assembler.CloseFinal();
+    if (!window.ok()) {
+      run_status = Status::InvalidArgument(
+          "window " + std::to_string(report_.windows_closed) + ": " +
+          window.status().message() +
+          " (each object may appear once per window)");
+    } else {
+      run_status = ProcessWindow(std::move(*window), WindowClose::kFinal,
+                                 sink, rng, pool.get());
     }
   }
   report_.wall_seconds = wall.ElapsedSeconds();

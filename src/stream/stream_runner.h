@@ -3,14 +3,17 @@
 // Pipeline: an ingest thread pulls trajectories from a TrajectoryReader and
 // pushes them through a BoundedQueue (backpressure caps in-flight memory);
 // the caller's thread assembles windows of `window_size` trajectories from
-// a ring buffer of pending arrivals and anonymizes each window with
+// a ring buffer of pending arrivals (stream/window_assembler.h, shared
+// with the multi-feed serving layer) and anonymizes each window with
 // BatchRunner, sharing one WorkStealingPool across every window so no
 // threads are re-spawned. Windows advance by `window_stride` arrivals:
 // stride == size gives the classic tumbling windows, stride < size gives
 // sliding (overlapping) windows where each trajectory is re-published with
-// `window_size / stride` windows' worth of fresh context. Each published
-// window is handed to a sink callback immediately, so output is emitted
-// incrementally instead of after the whole stream.
+// `window_size / stride` windows' worth of fresh context. With
+// `close_after_ms` set, a window also closes when its oldest uncovered
+// arrival has waited that long — the wall-clock latency SLO for trickle
+// feeds. Each published window is handed to a sink callback immediately,
+// so output is emitted incrementally instead of after the whole stream.
 //
 // Privacy accounting (the part that differs from batch): within one window
 // every moving object appears in exactly one shard, so the window costs
@@ -37,8 +40,12 @@
 #ifndef FRT_STREAM_STREAM_RUNNER_H_
 #define FRT_STREAM_STREAM_RUNNER_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -47,9 +54,31 @@
 #include "dp/object_accountant.h"
 #include "runtime/batch_runner.h"
 #include "stream/ingest.h"
+#include "stream/window_assembler.h"
 #include "traj/dataset.h"
 
 namespace frt {
+
+/// Why a window left the assembler.
+enum class WindowClose {
+  kCount,     ///< the buffer reached window_size arrivals
+  kDeadline,  ///< the oldest uncovered arrival hit close_after_ms
+  kFinal,     ///< end of stream: the trailing partial window
+};
+
+/// \brief Delay before a close_after_ms timer fires.
+///
+/// The deadline is an SLO — the window must be CLOSED by then — so the
+/// timer is armed a guard margin (an eighth of the deadline, at most
+/// 25 ms) early; the close plus its scheduler wake-up slack then lands
+/// before the deadline instead of straddling it, even on a loaded host.
+inline std::chrono::steady_clock::duration CloseTimerDelay(
+    int64_t close_after_ms) {
+  const int64_t guard_ms =
+      std::min<int64_t>(close_after_ms / 8 + 1, 25);
+  return std::chrono::milliseconds(
+      close_after_ms > guard_ms ? close_after_ms - guard_ms : 0);
+}
 
 /// Cross-window budget accounting mode (see file comment).
 enum class BudgetAccounting {
@@ -102,12 +131,29 @@ struct StreamRunnerConfig {
   /// refusal". Off by default: finite batch feeds usually want the
   /// refused-trajectory tally.
   bool stop_when_exhausted = false;
+  /// Wall-clock closure deadline in milliseconds: a non-empty window is
+  /// closed — and published, possibly short of window_size — no later than
+  /// close_after_ms after its oldest uncovered arrival was ingested (the
+  /// timer is armed a small guard early, see CloseTimerDelay). This is the
+  /// latency-SLO lever for trickle feeds, where count-based closure alone
+  /// would hold arrivals hostage until the feed fills a window. 0
+  /// (default) disables: windows close on count or end of stream only, and
+  /// the ingest path is byte-identical to previous releases.
+  int64_t close_after_ms = 0;
 };
 
 /// Diagnostics of one published window.
 struct WindowReport {
   /// 0-based index in arrival order (refused windows keep their index).
   size_t index = 0;
+  /// What closed this window: a full count, the close_after_ms deadline,
+  /// or the end of the stream.
+  WindowClose close_reason = WindowClose::kCount;
+  /// Service diagnostics (multi-feed dispatcher only; 0 under the
+  /// single-feed runner): oldest uncovered arrival -> close, and close ->
+  /// publish. close_wait_ms is the latency --close-after-ms bounds.
+  double close_wait_ms = 0.0;
+  double publish_latency_ms = 0.0;
   size_t trajectories = 0;
   /// Exhausted objects evicted from this window before anonymization
   /// (kPerObject with evict_exhausted only).
@@ -126,6 +172,9 @@ struct StreamReport {
   size_t windows_closed = 0;     ///< assembled from the input
   size_t windows_published = 0;  ///< anonymized and emitted
   size_t windows_refused = 0;    ///< dropped: budget exhausted
+  /// Windows closed by the close_after_ms deadline rather than by count
+  /// or end of stream.
+  size_t windows_deadline_closed = 0;
   size_t trajectories_in = 0;
   size_t trajectories_published = 0;
   size_t trajectories_refused = 0;
@@ -152,6 +201,25 @@ struct StreamReport {
 inline bool StreamHadRefusals(const StreamReport& report) {
   return report.windows_refused > 0 || report.trajectories_evicted > 0;
 }
+
+/// \brief Shared budget admission control for one closed window — the
+/// single implementation behind both the single-feed StreamRunner and the
+/// multi-feed FeedSession, so the two layers cannot drift on tolerance,
+/// eviction policy, or refusal accounting.
+///
+/// Under kWholesale the whole window is admitted or refused against
+/// `accountant`. Under kPerObject (with `evict_exhausted`) exhausted
+/// objects may instead be evicted from `window` in place, `*evicted`
+/// counting them. Refusals/evictions are recorded in `report`'s counters;
+/// diagnostics are logged with `log_prefix` (e.g. "feed taxi: ").
+/// Returns true when the (possibly shrunk) window may run.
+bool AdmitWindowOnBudget(Dataset* window, size_t index,
+                         double window_epsilon, BudgetAccounting accounting,
+                         bool evict_exhausted,
+                         const PrivacyAccountant& accountant,
+                         const ObjectBudgetAccountant& object_accountant,
+                         StreamReport* report, size_t* evicted,
+                         const std::string& log_prefix);
 
 /// Receives each published window right after anonymization. A non-OK
 /// return aborts the run. The Dataset holds only this window's
@@ -200,16 +268,9 @@ class StreamRunner {
   const StreamRunnerConfig& config() const { return config_; }
 
  private:
-  Status ProcessWindow(Dataset&& window, const WindowSink& sink, Rng& rng,
+  Status ProcessWindow(Dataset&& window, WindowClose reason,
+                       const WindowSink& sink, Rng& rng,
                        WorkStealingPool* pool);
-  /// Wholesale admission: true when the window may run. Refusals are
-  /// recorded in the report.
-  bool AdmitWholesale(const Dataset& window, size_t index,
-                      double window_epsilon);
-  /// Per-object admission: may evict exhausted trajectories from `window`
-  /// in place. Returns false when the whole window is refused.
-  bool AdmitPerObject(Dataset* window, size_t index, double window_epsilon,
-                      size_t* evicted);
 
   StreamRunnerConfig config_;
   StreamReport report_;

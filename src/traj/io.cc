@@ -27,11 +27,13 @@ Result<std::optional<CsvRecord>> ParseCsvRecord(std::string_view line,
   return std::optional<CsvRecord>(record);
 }
 
-void WriteTrajectoryCsv(const Trajectory& trajectory, std::ostream& out) {
+void WriteTrajectoryCsv(const Trajectory& trajectory, std::ostream& out,
+                        std::string_view line_prefix) {
   char buf[160];
   for (const auto& tp : trajectory.points()) {
     std::snprintf(buf, sizeof(buf), "%" PRId64 ",%.3f,%.3f,%" PRId64 "\n",
                   trajectory.id(), tp.p.x, tp.p.y, tp.t);
+    if (!line_prefix.empty()) out << line_prefix;
     out << buf;
   }
 }

@@ -37,8 +37,11 @@ Result<std::optional<CsvRecord>> ParseCsvRecord(std::string_view line,
                                                 size_t lineno);
 
 /// Writes one trajectory as sample lines (no header). The single source of
-/// the record format for both batch and streaming serialization.
-void WriteTrajectoryCsv(const Trajectory& trajectory, std::ostream& out);
+/// the record format for batch, streaming, and multi-feed serialization.
+/// `line_prefix` is prepended verbatim to every record line — the
+/// multi-feed format passes "feed," to tag each sample with its feed id.
+void WriteTrajectoryCsv(const Trajectory& trajectory, std::ostream& out,
+                        std::string_view line_prefix = {});
 
 /// Writes `dataset` in CSV form (header comment + one line per sample).
 Status WriteDatasetCsv(const Dataset& dataset, std::ostream& out);

@@ -1,0 +1,207 @@
+// Dedicated suite for common/BoundedQueue: FIFO order, backpressure,
+// close/drain semantics (producers observe the close, consumers drain the
+// remaining items), the timed PopUntil outcomes, and the shutdown races the
+// multi-feed dispatcher leans on (close while producers are blocked full,
+// close racing a timed pop).
+
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace frt {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(BoundedQueueTest, FifoOrderSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushAndTryPop) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  int out = 0;
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.TryPop(&out));  // empty
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4));  // closed
+}
+
+TEST(BoundedQueueTest, PushBlocksOnFullUntilPopped) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));
+    pushed = true;
+  });
+  // The producer must be blocked: capacity is 1 and nothing was popped.
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksFullProducerWhichObservesFailure) {
+  // The shutdown race of a dispatcher aborting mid-stream: a producer
+  // blocked in Push() on a full queue must return false (item dropped,
+  // ownership stays with the producer), not hang and not enqueue.
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result = q.Push(2) ? 1 : 0; });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_EQ(result.load(), -1);  // still blocked
+  q.Close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // observed the close
+  // The item accepted before the close is still drained, then end.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, ConsumersDrainQueuedItemsAfterClose) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i));
+  q.Close();
+  q.Close();  // idempotent
+  EXPECT_TRUE(q.closed());
+  for (int i = 0; i < 4; ++i) {
+    auto item = q.Pop();
+    ASSERT_TRUE(item.has_value()) << "item " << i << " lost to the close";
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(q.Pop().has_value());
+  // PopUntil agrees: closed-and-drained beats any deadline.
+  int out = 0;
+  EXPECT_EQ(q.PopUntil(steady_clock::now() + milliseconds(50), &out),
+            QueuePop::kClosed);
+}
+
+TEST(BoundedQueueTest, PopUntilTimesOutOnOpenEmptyQueue) {
+  BoundedQueue<int> q(4);
+  int out = 0;
+  const auto start = steady_clock::now();
+  EXPECT_EQ(q.PopUntil(start + milliseconds(30), &out), QueuePop::kTimeout);
+  EXPECT_GE(steady_clock::now() - start, milliseconds(30));
+}
+
+TEST(BoundedQueueTest, PopUntilReturnsItemArrivingBeforeDeadline) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(milliseconds(10));
+    EXPECT_TRUE(q.Push(42));
+  });
+  int out = 0;
+  EXPECT_EQ(q.PopUntil(steady_clock::now() + milliseconds(5000), &out),
+            QueuePop::kItem);
+  EXPECT_EQ(out, 42);
+  producer.join();
+}
+
+TEST(BoundedQueueTest, PopUntilDistinguishesCloseFromTimeout) {
+  // A consumer parked on a long deadline must wake promptly on Close()
+  // and report kClosed, never kTimeout — conflating the two would make a
+  // dispatcher treat "stream over" as "feed slow" and spin forever.
+  BoundedQueue<int> q(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(milliseconds(10));
+    q.Close();
+  });
+  int out = 0;
+  const auto start = steady_clock::now();
+  EXPECT_EQ(q.PopUntil(start + std::chrono::seconds(60), &out),
+            QueuePop::kClosed);
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+  closer.join();
+}
+
+TEST(BoundedQueueTest, MultiProducerMultiConsumerDrainsEverythingOnClose) {
+  // Stress the close/drain contract: every item a Push() accepted is seen
+  // by exactly one consumer; items rejected at close stay with producers.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(16);
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.Push(p * kPerProducer + i)) accepted.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (q.Pop().has_value()) consumed.fetch_add(1);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), accepted.load());
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CloseRacingProducersLosesNoAcceptedItem) {
+  // Close fires mid-stream while producers are still pushing: whatever
+  // Push() accepted must be drainable, whatever it rejected must not
+  // appear. Run several rounds to shake out interleavings.
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> q(4);
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < 100; ++i) {
+          if (q.Push(i)) accepted.fetch_add(1);
+        }
+      });
+    }
+    std::atomic<int> consumed{0};
+    std::thread consumer([&] {
+      while (q.Pop().has_value()) consumed.fetch_add(1);
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    q.Close();
+    for (auto& t : producers) t.join();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsRemappedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.Push(7));
+  EXPECT_EQ(q.Pop().value(), 7);
+}
+
+}  // namespace
+}  // namespace frt

@@ -1,0 +1,402 @@
+// Unit and end-to-end coverage of the multi-feed serving layer
+// (src/service): routing and per-feed window order, count/deadline/final
+// closure, idle eviction with budget carry, abort paths, and determinism
+// across pool sizes.
+
+#include "service/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/ingest.h"
+#include "testing_util.h"
+
+namespace frt {
+namespace {
+
+using frt::testing::ServiceCapture;
+using frt::testing::SyntheticCsv;
+using std::chrono::milliseconds;
+
+constexpr uint64_t kSeed = 20260730;
+
+ServiceConfig SmallServiceConfig(size_t window) {
+  ServiceConfig config;
+  config.stream.window_size = window;
+  config.stream.batch.shards = 2;
+  config.stream.batch.pipeline.m = 3;
+  config.stream.batch.pipeline.epsilon_global = 0.5;
+  config.stream.batch.pipeline.epsilon_local = 0.5;
+  config.pool_threads = 2;
+  return config;
+}
+
+/// Parses the deterministic synthetic CSV into ready-to-offer
+/// trajectories.
+std::vector<Trajectory> SyntheticTrajectories(int arrivals) {
+  std::istringstream in(SyntheticCsv(arrivals));
+  std::vector<Trajectory> out;
+  TrajectoryReader reader(in);
+  for (;;) {
+    auto next = reader.Next();
+    EXPECT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    out.push_back(std::move(**next));
+  }
+  return out;
+}
+
+TEST(ServiceTest, MultiplexedFeedsPublishEveryWindowPerFeedInOrder) {
+  const std::vector<std::string> feed_names = {"alpha", "beta", "gamma",
+                                               "delta"};
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(60);
+  ServiceCapture capture;
+  ServiceDispatcher service(SmallServiceConfig(20), capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  // Round-robin interleave: every feed receives the same 60 arrivals.
+  for (const Trajectory& t : trajs) {
+    for (const auto& feed : feed_names) {
+      ASSERT_TRUE(service.Offer(feed, t));
+    }
+  }
+  ASSERT_TRUE(service.Finish().ok());
+
+  const ServiceReport& report = service.report();
+  EXPECT_EQ(report.feeds, 4u);
+  EXPECT_EQ(report.sessions_created, 4u);
+  EXPECT_EQ(report.peak_active_sessions, 4u);
+  EXPECT_EQ(report.sessions_evicted, 0u);
+  EXPECT_EQ(report.windows_published, 12u);  // 3 per feed
+  EXPECT_EQ(report.windows_refused, 0u);
+  EXPECT_EQ(report.trajectories_in, 240u);
+  EXPECT_EQ(report.trajectories_published, 240u);
+  ASSERT_EQ(report.feeds_report.size(), 4u);
+  for (const FeedReport& feed : report.feeds_report) {
+    EXPECT_EQ(feed.sessions, 1u);
+    EXPECT_EQ(feed.stream.windows_published, 3u);
+    EXPECT_EQ(feed.stream.trajectories_published, 60u);
+  }
+  for (const auto& feed : feed_names) {
+    const ServiceCapture::Feed& captured = capture.feeds.at(feed);
+    ASSERT_EQ(captured.ids.size(), 60u) << feed;
+    // Per-feed window order: ids concatenate back to arrival order.
+    for (int i = 0; i < 60; ++i) EXPECT_EQ(captured.ids[i], i) << feed;
+    ASSERT_EQ(captured.reports.size(), 3u);
+    for (size_t w = 0; w < 3; ++w) {
+      EXPECT_EQ(captured.reports[w].index, w) << feed;
+      EXPECT_EQ(captured.reports[w].close_reason, WindowClose::kCount);
+      EXPECT_NEAR(captured.reports[w].epsilon_spent, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(ServiceTest, DeterministicAcrossPoolSizes) {
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(40);
+  auto run = [&](unsigned pool_threads) {
+    auto capture = std::make_unique<ServiceCapture>();
+    ServiceConfig config = SmallServiceConfig(10);
+    config.pool_threads = pool_threads;
+    ServiceDispatcher service(config, capture->MakeSink());
+    EXPECT_TRUE(service.Start(kSeed).ok());
+    for (const Trajectory& t : trajs) {
+      for (const char* feed : {"f1", "f2", "f3"}) {
+        EXPECT_TRUE(service.Offer(feed, t));
+      }
+    }
+    EXPECT_TRUE(service.Finish().ok());
+    return capture;
+  };
+  const auto base = run(1);
+  for (const unsigned pool : {2u, 4u}) {
+    const auto other = run(pool);
+    for (const char* feed : {"f1", "f2", "f3"}) {
+      EXPECT_TRUE(ServiceCapture::FeedsEqual(base->feeds.at(feed),
+                                             other->feeds.at(feed)))
+          << "feed " << feed << " differs at pool=" << pool;
+    }
+  }
+}
+
+TEST(ServiceTest, DeadlineClosesPartialWindowBeforeInputEnds) {
+  // window_size 100 would never fill; the 60 ms deadline must close and
+  // publish the 5 buffered arrivals while the service is still running.
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(5);
+  ServiceCapture capture;
+  ServiceConfig config = SmallServiceConfig(100);
+  config.stream.close_after_ms = 60;
+  ServiceDispatcher service(config, capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  for (const Trajectory& t : trajs) ASSERT_TRUE(service.Offer("live", t));
+  // The input is NOT finished: the only way this window publishes within
+  // 5 s is the deadline timer.
+  ASSERT_TRUE(capture.WaitForWindows(1, milliseconds(5000)));
+  {
+    std::lock_guard<std::mutex> lock(capture.mu);
+    const ServiceCapture::Feed& feed = capture.feeds.at("live");
+    ASSERT_EQ(feed.reports.size(), 1u);
+    EXPECT_EQ(feed.reports[0].close_reason, WindowClose::kDeadline);
+    EXPECT_EQ(feed.reports[0].trajectories, 5u);
+    // The close honored the SLO: waited at least the armed delay, and not
+    // wildly past the deadline.
+    EXPECT_GT(feed.reports[0].close_wait_ms, 10.0);
+  }
+  ASSERT_TRUE(service.Finish().ok());
+  EXPECT_EQ(service.report().windows_deadline_closed, 1u);
+  EXPECT_EQ(service.report().windows_published, 1u);
+}
+
+TEST(ServiceTest, IdleEvictionFlushesSessionAndCarriesBudgetIntoRevival) {
+  // Wholesale budget of 1.0 at eps 1.0/window: generation 1 publishes its
+  // flushed window and exhausts the budget; the revived generation 2 must
+  // inherit that spend and refuse its window.
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(6);
+  ServiceCapture capture;
+  ServiceConfig config = SmallServiceConfig(100);
+  config.stream.accounting = BudgetAccounting::kWholesale;
+  config.stream.total_budget = 1.0;
+  config.idle_evict_ms = 50;
+  ServiceDispatcher service(config, capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.Offer("taxi", trajs[i]));
+  // Idle long enough for the eviction sweep to flush and tear down.
+  ASSERT_TRUE(capture.WaitForWindows(1, milliseconds(5000)));
+  std::this_thread::sleep_for(milliseconds(150));
+  // Revive the feed with fresh arrivals.
+  for (int i = 3; i < 6; ++i) ASSERT_TRUE(service.Offer("taxi", trajs[i]));
+  ASSERT_TRUE(service.Finish().ok());
+
+  const ServiceReport& report = service.report();
+  EXPECT_GE(report.sessions_evicted, 1u);
+  ASSERT_EQ(report.feeds_report.size(), 1u);
+  const FeedReport& feed = report.feeds_report[0];
+  EXPECT_GE(feed.sessions, 2u);
+  EXPECT_EQ(feed.stream.windows_published, 1u);  // generation 1's flush
+  EXPECT_EQ(feed.stream.windows_refused, 1u);    // generation 2, carried
+  EXPECT_NEAR(feed.stream.epsilon_spent, 1.0, 1e-9);
+  EXPECT_TRUE(ServiceHadRefusals(report));
+}
+
+TEST(ServiceTest, WindowIndicesContinueAcrossSessionGenerations) {
+  // Generation 1 publishes window 0 (idle-eviction flush); the revived
+  // generation 2's window must be index 1, not a second index 0.
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(6);
+  ServiceCapture capture;
+  ServiceConfig config = SmallServiceConfig(100);
+  config.idle_evict_ms = 50;
+  ServiceDispatcher service(config, capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.Offer("gen", trajs[i]));
+  ASSERT_TRUE(capture.WaitForWindows(1, std::chrono::milliseconds(5000)));
+  std::this_thread::sleep_for(milliseconds(150));
+  for (int i = 3; i < 6; ++i) ASSERT_TRUE(service.Offer("gen", trajs[i]));
+  ASSERT_TRUE(service.Finish().ok());
+  const ServiceCapture::Feed& feed = capture.feeds.at("gen");
+  ASSERT_EQ(feed.reports.size(), 2u);
+  EXPECT_EQ(feed.reports[0].index, 0u);
+  EXPECT_EQ(feed.reports[1].index, 1u);
+  ASSERT_EQ(service.report().feeds_report.size(), 1u);
+  EXPECT_GE(service.report().feeds_report[0].sessions, 2u);
+}
+
+TEST(ServiceTest, StopWhenExhaustedEndsServiceAtFirstRefusal) {
+  // Wholesale budget 1.0 at eps 1.0/window: window 0 publishes, window 1
+  // is refused, and the service must then stop ingesting (Offer fails)
+  // instead of refusing windows forever.
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(60);
+  ServiceCapture capture;
+  ServiceConfig config = SmallServiceConfig(5);
+  config.stream.accounting = BudgetAccounting::kWholesale;
+  config.stream.total_budget = 1.0;
+  config.stream.stop_when_exhausted = true;
+  config.arrival_queue_capacity = 4;
+  ServiceDispatcher service(config, capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  // An effectively endless feed: recycle the 60 ids round after round
+  // (window-aligned, so ids stay unique within each window of 5). Only
+  // the stop can end this loop early.
+  bool stopped = false;
+  for (int round = 0; round < 500 && !stopped; ++round) {
+    for (const Trajectory& t : trajs) {
+      if (!service.Offer("endless", t)) {
+        stopped = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(stopped) << "service never stopped ingesting";
+  ASSERT_TRUE(service.Finish().ok());  // a clean stop, not an error
+  const ServiceReport& report = service.report();
+  EXPECT_EQ(report.windows_published, 1u);
+  EXPECT_GE(report.windows_refused, 1u);
+  EXPECT_TRUE(ServiceHadRefusals(report));
+}
+
+TEST(ServiceTest, PerFeedBudgetsAreIndependentLedgers) {
+  // Both feeds get the same wholesale budget of 2.0; each publishes 2 of
+  // its 3 windows — proof the ledger is per feed, not shared.
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(30);
+  ServiceCapture capture;
+  ServiceConfig config = SmallServiceConfig(10);
+  config.stream.accounting = BudgetAccounting::kWholesale;
+  config.stream.total_budget = 2.0;
+  ServiceDispatcher service(config, capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  for (const Trajectory& t : trajs) {
+    ASSERT_TRUE(service.Offer("a", t));
+    ASSERT_TRUE(service.Offer("b", t));
+  }
+  ASSERT_TRUE(service.Finish().ok());
+  for (const FeedReport& feed : service.report().feeds_report) {
+    EXPECT_EQ(feed.stream.windows_published, 2u) << feed.feed;
+    EXPECT_EQ(feed.stream.windows_refused, 1u) << feed.feed;
+    EXPECT_NEAR(feed.stream.epsilon_spent, 2.0, 1e-9) << feed.feed;
+  }
+}
+
+TEST(ServiceTest, BacklogCapPausesIngressButPublishesEverything) {
+  // With the tightest possible caps the dispatcher must repeatedly pause
+  // ingress (arrival queue fills, Offer blocks) and still publish every
+  // window of every feed in order.
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(60);
+  ServiceCapture capture;
+  ServiceConfig config = SmallServiceConfig(5);
+  config.max_in_flight = 1;
+  config.max_backlog_windows = 1;
+  config.arrival_queue_capacity = 4;
+  ServiceDispatcher service(config, capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  for (const Trajectory& t : trajs) {
+    ASSERT_TRUE(service.Offer("a", t));
+    ASSERT_TRUE(service.Offer("b", t));
+  }
+  ASSERT_TRUE(service.Finish().ok());
+  EXPECT_EQ(service.report().windows_published, 24u);  // 12 per feed
+  EXPECT_EQ(service.report().trajectories_published, 120u);
+  for (const char* feed : {"a", "b"}) {
+    const ServiceCapture::Feed& captured = capture.feeds.at(feed);
+    ASSERT_EQ(captured.ids.size(), 60u);
+    for (int i = 0; i < 60; ++i) EXPECT_EQ(captured.ids[i], i) << feed;
+  }
+}
+
+TEST(ServiceTest, DuplicateObjectIdWithinFeedWindowFailsTheRun) {
+  ServiceCapture capture;
+  ServiceDispatcher service(SmallServiceConfig(10), capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(2);
+  ASSERT_TRUE(service.Offer("dup", trajs[0]));
+  // Re-offering id 0 within the same (never-closing) window must fail
+  // when the window closes at the final flush.
+  service.Offer("dup", trajs[0]);
+  const Status st = service.Finish();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(ServiceTest, SinkErrorAbortsService) {
+  const std::vector<Trajectory> trajs = SyntheticTrajectories(30);
+  ServiceConfig config = SmallServiceConfig(5);
+  ServiceDispatcher service(
+      config, [](const std::string&, const Dataset&,
+                 const WindowReport&) -> Status {
+        return Status::IOError("sink full");
+      });
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  bool offer_failed = false;
+  for (int round = 0; round < 200 && !offer_failed; ++round) {
+    for (const Trajectory& t : trajs) {
+      if (!service.Offer("x" + std::to_string(round), t)) {
+        offer_failed = true;  // ingress observed the abort
+        break;
+      }
+    }
+  }
+  const Status st = service.Finish();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+}
+
+TEST(ServiceTest, FinishWithoutArrivalsIsCleanAndEmpty) {
+  ServiceCapture capture;
+  ServiceDispatcher service(SmallServiceConfig(10), capture.MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  ASSERT_TRUE(service.Finish().ok());
+  EXPECT_EQ(service.report().feeds, 0u);
+  EXPECT_EQ(service.report().windows_published, 0u);
+}
+
+// ---- StreamRunner time-based closure (the single-feed --close-after-ms
+// path shares CloseTimerDelay and the WindowAssembler with the service).
+
+TEST(StreamDeadlineTest, DeadlineClosesPartialWindowOnTrickleFeed) {
+  frt::testing::BlockingFeed feed;
+  TrajectoryReader reader(feed.stream());
+  StreamRunnerConfig config;
+  config.window_size = 100;
+  config.close_after_ms = 60;
+  config.batch.pipeline.m = 3;
+  StreamRunner runner(config);
+  frt::testing::SinkCapture capture;
+  std::atomic<size_t> published{0};
+  WindowSink sink = [&](const Dataset& d, const WindowReport& w) -> Status {
+    Status st = capture.MakeSink()(d, w);
+    published.fetch_add(1);
+    return st;
+  };
+  Rng rng(kSeed);
+  std::thread run_thread([&] {
+    EXPECT_TRUE(runner.Run(reader, sink, rng).ok());
+  });
+  // Two complete trajectories (the second id's first line completes the
+  // first), then silence: only the deadline can publish them.
+  feed.Append(SyntheticCsv(3));
+  const auto start = std::chrono::steady_clock::now();
+  while (published.load() == 0 &&
+         std::chrono::steady_clock::now() - start < milliseconds(5000)) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_GE(published.load(), 1u) << "deadline closure never fired";
+  feed.End();
+  run_thread.join();
+
+  const StreamReport& report = runner.report();
+  EXPECT_EQ(report.trajectories_in, 3u);
+  EXPECT_EQ(report.trajectories_published, 3u);
+  EXPECT_GE(report.windows_deadline_closed, 1u);
+  ASSERT_GE(report.windows.size(), 2u);
+  EXPECT_EQ(report.windows.front().close_reason, WindowClose::kDeadline);
+  EXPECT_EQ(report.windows.back().close_reason, WindowClose::kFinal);
+}
+
+TEST(StreamDeadlineTest, CountClosureStillWinsWhenFeedIsFast) {
+  // A fast finite feed with a generous deadline behaves exactly like the
+  // untimed runner: every window closes by count (plus the final tail).
+  const std::string csv = SyntheticCsv(250);
+  std::istringstream in(csv);
+  TrajectoryReader reader(in);
+  StreamRunnerConfig config;
+  config.window_size = 100;
+  config.close_after_ms = 60000;
+  config.batch.pipeline.m = 3;
+  StreamRunner runner(config);
+  frt::testing::SinkCapture capture;
+  Rng rng(kSeed);
+  auto sink = capture.MakeSink();
+  ASSERT_TRUE(runner.Run(reader, sink, rng).ok());
+  const StreamReport& report = runner.report();
+  EXPECT_EQ(report.windows_published, 3u);
+  EXPECT_EQ(report.windows_deadline_closed, 0u);
+  EXPECT_EQ(report.windows[0].close_reason, WindowClose::kCount);
+  EXPECT_EQ(report.windows[2].close_reason, WindowClose::kFinal);
+  EXPECT_EQ(capture.ids.size(), 250u);
+}
+
+}  // namespace
+}  // namespace frt

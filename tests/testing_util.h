@@ -8,12 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdint>
+#include <istream>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "service/dispatcher.h"
 #include "stream/stream_runner.h"
 #include "synth/workload.h"
 #include "traj/dataset.h"
@@ -114,6 +120,115 @@ struct SinkCapture {
       return Status::OK();
     };
   }
+};
+
+/// Per-feed capture of everything a multi-feed service publishes. The
+/// ServiceSink runs on the dispatcher thread only; published_windows is
+/// additionally readable from other threads (under mu) so tests can wait
+/// for asynchronous publications (deadline closure, idle eviction) without
+/// finishing the service.
+struct ServiceCapture {
+  struct Feed {
+    std::vector<TrajId> ids;
+    std::vector<std::vector<TimedPoint>> points;
+    std::vector<std::vector<TrajId>> window_ids;
+    std::vector<WindowReport> reports;
+  };
+  std::map<std::string, Feed> feeds;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t published_windows = 0;
+
+  ServiceSink MakeSink() {
+    return [this](const std::string& feed, const Dataset& published,
+                  const WindowReport& report) -> Status {
+      std::lock_guard<std::mutex> lock(mu);
+      Feed& f = feeds[feed];
+      f.reports.push_back(report);
+      std::vector<TrajId> this_window;
+      for (const auto& t : published.trajectories()) {
+        f.ids.push_back(t.id());
+        this_window.push_back(t.id());
+        f.points.push_back(t.points());
+      }
+      f.window_ids.push_back(std::move(this_window));
+      ++published_windows;
+      cv.notify_all();
+      return Status::OK();
+    };
+  }
+
+  /// Blocks until at least `n` windows were published (or the timeout
+  /// hits; returns false then).
+  bool WaitForWindows(size_t n, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, timeout,
+                       [&] { return published_windows >= n; });
+  }
+
+  /// Structural equality of one feed's published stream against another
+  /// capture's (ids, window boundaries, and every point bit-for-bit).
+  static bool FeedsEqual(const Feed& a, const Feed& b) {
+    return a.ids == b.ids && a.window_ids == b.window_ids &&
+           a.points == b.points;
+  }
+};
+
+/// A live feed for deadline tests: an istream whose reader blocks until
+/// the writer appends more bytes or ends the feed — what stdin on a quiet
+/// pipe does, without needing a real pipe.
+class BlockingFeed {
+ public:
+  BlockingFeed() : stream_(&buf_) {}
+
+  std::istream& stream() { return stream_; }
+
+  /// Appends bytes; a blocked reader wakes and consumes them.
+  void Append(const std::string& bytes) { buf_.Append(bytes); }
+
+  /// Ends the feed: the reader sees EOF once the bytes are drained.
+  void End() { buf_.End(); }
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    void Append(const std::string& bytes) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        data_.append(bytes);
+      }
+      cv_.notify_all();
+    }
+    void End() {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+      }
+      cv_.notify_all();
+    }
+
+   protected:
+    int_type underflow() override {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return pos_ < data_.size() || closed_; });
+      if (pos_ >= data_.size()) return traits_type::eof();
+      chunk_.assign(data_, pos_, data_.size() - pos_);
+      pos_ = data_.size();
+      setg(chunk_.data(), chunk_.data(), chunk_.data() + chunk_.size());
+      return traits_type::to_int_type(chunk_[0]);
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::string data_;
+    size_t pos_ = 0;
+    bool closed_ = false;
+    std::string chunk_;
+  };
+
+  Buf buf_;
+  std::istream stream_;
 };
 
 }  // namespace frt::testing

@@ -40,6 +40,16 @@ def run_bench(bench, min_time, bench_filter):
     raise SystemExit(f"benchmark run failed: {' '.join(base_cmd)}")
 
 
+# google-benchmark bookkeeping keys that are not user counters; everything
+# numeric outside this set (dist_evals*, items_per_second, the serve
+# study's feeds/isolation/deadline counters, ...) is carried into the
+# report verbatim.
+_GBENCH_BOOKKEEPING = {
+    "family_index", "per_family_instance_index", "repetitions",
+    "repetition_index", "threads", "iterations", "real_time", "cpu_time",
+}
+
+
 def compact(raw):
     """Flattens google-benchmark JSON into {name: metrics}."""
     out = {}
@@ -55,8 +65,10 @@ def compact(raw):
         if "label" in b:
             entry["label"] = b["label"]
         for key, value in b.items():
-            if key.startswith("dist_evals") or key == "items_per_second":
-                entry[key] = value
+            if key in _GBENCH_BOOKKEEPING or not isinstance(
+                    value, (int, float)) or isinstance(value, bool):
+                continue
+            entry[key] = value
         out[b["name"]] = entry
     if not out:
         raise SystemExit("no benchmarks in input — nothing to report")

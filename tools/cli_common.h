@@ -153,6 +153,7 @@ struct StreamArgs {
   size_t queue = 0;
   std::string dispatch = "steal";
   bool stop_on_exhausted = false;
+  int64_t close_after_ms = 0;  ///< time-based window closure; 0 = off
 };
 
 /// \brief Tries to consume argv[*i] as one of the streaming flags.
@@ -199,6 +200,14 @@ inline FlagParse ParseStreamFlag(int argc, char** argv, int* i,
     args->dispatch = v;
   } else if (std::strcmp(flag, "--stop-on-exhausted") == 0) {
     args->stop_on_exhausted = true;
+  } else if (std::strcmp(flag, "--close-after-ms") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    const long long n = std::atoll(v);
+    if (n < 0) {
+      std::fprintf(stderr, "--close-after-ms must be >= 0\n");
+      return FlagParse::kError;
+    }
+    args->close_after_ms = static_cast<int64_t>(n);
   } else {
     return FlagParse::kNotMine;
   }
@@ -243,6 +252,7 @@ inline bool MakeStreamConfig(const StreamArgs& args,
   config->evict_exhausted = args.evict_exhausted;
   config->queue_capacity = args.queue;
   config->stop_when_exhausted = args.stop_on_exhausted;
+  config->close_after_ms = args.close_after_ms;
   config->batch.pipeline = pipeline;
   config->batch.shards = pipeline_args.shards;
   config->batch.threads = pipeline_args.threads;
@@ -280,7 +290,12 @@ inline const char* StreamUsageText() {
       "steal)\n"
       "  --stop-on-exhausted  end the run at the first refused window "
       "(required\n"
-      "                       for --budget on a feed that never ends)\n";
+      "                       for --budget on a feed that never ends)\n"
+      "  --close-after-ms N   wall-clock closure SLO: publish a non-empty "
+      "window\n"
+      "                       no later than N ms after its oldest pending\n"
+      "                       arrival, even if short of --window (default "
+      "0 = off)\n";
 }
 
 }  // namespace frt::cli

@@ -24,6 +24,11 @@
 //       [--strategy hg+|hgt|hgb|ug|linear] [--order global|local]
 //       [--seed 42] [--shards 1] [--threads 0] [--queue 0]
 //       [--dispatch steal|static] [--stop-on-exhausted]
+//       [--close-after-ms 0]
+//
+// --close-after-ms is the latency SLO for live/trickle feeds: a non-empty
+// window is published no later than that many milliseconds after its
+// oldest pending arrival, even when the feed has not yet filled --window.
 //
 // Exit codes: 0 = all windows published; 3 = completed but at least one
 // window was refused (or object evicted) on budget; 1 = runtime error;
