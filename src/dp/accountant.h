@@ -8,9 +8,9 @@
 #ifndef FRT_DP_ACCOUNTANT_H_
 #define FRT_DP_ACCOUNTANT_H_
 
+#include <deque>
 #include <limits>
 #include <string>
-#include <vector>
 
 #include "common/result.h"
 
@@ -40,9 +40,7 @@ class PrivacyAccountant {
     }
     spent_ += epsilon;
     ledger_.push_back({epsilon, std::move(label)});
-    if (max_ledger_entries_ > 0 && ledger_.size() > max_ledger_entries_) {
-      ledger_.erase(ledger_.begin());
-    }
+    TrimLedger();
     return Status::OK();
   }
 
@@ -63,9 +61,7 @@ class PrivacyAccountant {
     if (!(epsilon > 0.0)) return;
     spent_ += epsilon;
     ledger_.push_back({epsilon, std::move(label)});
-    if (max_ledger_entries_ > 0 && ledger_.size() > max_ledger_entries_) {
-      ledger_.erase(ledger_.begin());
-    }
+    TrimLedger();
   }
 
   /// Total epsilon consumed so far (sequential composition).
@@ -84,14 +80,22 @@ class PrivacyAccountant {
     double epsilon;
     std::string label;
   };
-  const std::vector<Entry>& ledger() const { return ledger_; }
+  /// Retained entries, oldest first (a deque: the over-cap trim pops the
+  /// front in O(1), where a vector erase would shift every entry on every
+  /// spend of a long-running feed).
+  const std::deque<Entry>& ledger() const { return ledger_; }
 
  private:
+  void TrimLedger() {
+    if (max_ledger_entries_ == 0) return;
+    while (ledger_.size() > max_ledger_entries_) ledger_.pop_front();
+  }
+
   double total_budget_ = 0.0;
   double spent_ = 0.0;
   bool enforce_ = false;
   size_t max_ledger_entries_ = 0;
-  std::vector<Entry> ledger_;
+  std::deque<Entry> ledger_;
 };
 
 }  // namespace frt

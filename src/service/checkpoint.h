@@ -1,0 +1,120 @@
+// Durable budget-ledger checkpoints for the serving layer.
+//
+// The paper's guarantee (Theorem 1, sequential composition) only holds if
+// spent epsilon is never forgotten: a service that loses its
+// PrivacyAccountant / ObjectBudgetAccountant state on restart silently
+// re-grants budget that was already spent — a privacy bug, not an ops gap.
+// This module makes the per-feed ledgers durable:
+//
+//   - ServiceCheckpoint / FeedCheckpoint: the snapshot image. Per feed it
+//     carries exactly the state FeedBudgetCarry already hands across idle
+//     eviction — the wholesale spent total, the conservative per-object
+//     floor (the maximum per-object spend; every object of a recovered
+//     feed is assumed to have spent it, via
+//     ObjectBudgetAccountant::PreloadFloor), the cumulative window count,
+//     and the session-generation counter. Recovery therefore flows through
+//     the SAME conservative-carry path eviction uses
+//     (PrivacyAccountant::PreloadSpent / PreloadFloor): a crash can only
+//     under-grant remaining budget, never over-grant.
+//
+//   - Encode/Decode: a versioned, line-oriented text format ending in an
+//     FNV-1a 64 checksum line. Decoding is strict — wrong magic, missing
+//     fields, trailing garbage, a truncated tail, or a checksum mismatch
+//     all fail — so a torn or corrupted snapshot is rejected instead of
+//     silently seeding wrong ledgers.
+//
+//   - CheckpointStore: atomic persistence. Write() serializes to
+//     <dir>/budget_ledgers.ckpt.tmp, fsyncs the file, renames it over
+//     <dir>/budget_ledgers.ckpt, and fsyncs the directory, so the snapshot
+//     on disk is always a complete old or complete new image. Load()
+//     returns nullopt when no snapshot exists (first boot) and an error
+//     for unreadable/corrupt snapshots.
+//
+// Write-ahead discipline (enforced by ServiceDispatcher, documented here
+// because the format is the contract): a snapshot covering a window's
+// spend is made durable BEFORE that window's output is handed to the
+// sink. Whatever the crash point, the ledger state on disk is then always
+// >= the epsilon actually published, which is exactly the invariant the
+// kill-recover tests assert.
+
+#ifndef FRT_SERVICE_CHECKPOINT_H_
+#define FRT_SERVICE_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace frt {
+
+/// One feed's durable budget state — the same fields FeedBudgetCarry
+/// hands from an evicted session to its successor.
+struct FeedCheckpoint {
+  std::string feed;
+  /// Session generations created so far; a recovered feed's next session
+  /// continues the count (fresh RNG stream, continued window indices).
+  uint64_t generations = 0;
+  /// Windows closed across all generations (window indices keep rising).
+  uint64_t windows_closed = 0;
+  /// Exact wholesale ledger total (PrivacyAccountant::spent()).
+  double wholesale_spent = 0.0;
+  /// Maximum per-object cumulative spend
+  /// (ObjectBudgetAccountant::max_spent()) — the conservative floor every
+  /// object of the recovered feed starts at.
+  double per_object_floor = 0.0;
+};
+
+/// A whole service snapshot: every feed's ledger state plus the budget
+/// configuration it was taken under (recorded for diagnostics; recovery
+/// carries spend regardless — spent epsilon stays spent even if the
+/// operator changes budgets across the restart).
+struct ServiceCheckpoint {
+  /// Monotone snapshot counter; survives restarts (recovery resumes it).
+  uint64_t sequence = 0;
+  double total_budget = 0.0;
+  double per_object_budget = 0.0;
+  std::vector<FeedCheckpoint> feeds;
+};
+
+/// \brief Serializes a snapshot into the versioned text format, checksum
+/// line included.
+std::string EncodeCheckpoint(const ServiceCheckpoint& checkpoint);
+
+/// \brief Strictly parses a snapshot. Any deviation — bad magic/version,
+/// malformed numbers, duplicate feeds, truncation before the checksum
+/// line, checksum mismatch, bytes after the checksum — is an error.
+Result<ServiceCheckpoint> DecodeCheckpoint(std::string_view text);
+
+/// \brief Atomic snapshot persistence in one state directory (see file
+/// comment). Not thread-safe; the dispatcher thread owns it.
+class CheckpointStore {
+ public:
+  /// \brief Opens (creating if needed) the state directory.
+  static Result<CheckpointStore> Open(const std::string& dir);
+
+  /// \brief Reads and verifies the current snapshot. nullopt when none
+  /// exists yet; an error when one exists but cannot be trusted.
+  Result<std::optional<ServiceCheckpoint>> Load() const;
+
+  /// \brief Durably replaces the snapshot: write temp, fsync, atomic
+  /// rename, fsync directory.
+  Status Write(const ServiceCheckpoint& checkpoint);
+
+  /// Snapshot path (<dir>/budget_ledgers.ckpt).
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit CheckpointStore(std::string dir);
+
+  std::string dir_;
+  std::string path_;
+  std::string tmp_path_;
+};
+
+}  // namespace frt
+
+#endif  // FRT_SERVICE_CHECKPOINT_H_

@@ -1,6 +1,7 @@
 #include "service/dispatcher.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -96,6 +97,43 @@ ServiceDispatcher::~ServiceDispatcher() {
 Status ServiceDispatcher::Start(uint64_t seed) {
   if (started_) return Status::FailedPrecondition("service already started");
   master_seed_ = seed;
+  if (!config_.state_dir.empty()) {
+    // Open the store and recover BEFORE the dispatcher thread exists: a
+    // corrupt snapshot must fail the start (running without the recovered
+    // spend would re-grant budget), and the recovered slots are handed to
+    // the thread through its creation.
+    Result<CheckpointStore> store = CheckpointStore::Open(config_.state_dir);
+    if (!store.ok()) return store.status();
+    store_.emplace(*std::move(store));
+    FRT_ASSIGN_OR_RETURN(std::optional<ServiceCheckpoint> snapshot,
+                         store_->Load());
+    if (snapshot.has_value()) {
+      checkpoint_seq_ = snapshot->sequence;
+      for (FeedCheckpoint& feed : snapshot->feeds) {
+        FeedSlot& slot = feeds_[feed.feed];
+        feed_order_.push_back(feed.feed);
+        // The recovered feed looks exactly like an idle-evicted one: its
+        // first arrival opens the next session generation, whose
+        // constructor preloads this carry through PreloadSpent /
+        // PreloadFloor — recovery can only under-grant, never over-grant.
+        slot.generations = feed.generations;
+        slot.carry.wholesale_spent = feed.wholesale_spent;
+        slot.carry.per_object_floor = feed.per_object_floor;
+        slot.carry.windows_closed =
+            static_cast<size_t>(feed.windows_closed);
+        slot.ever_evicted = true;
+        // Surface the carried spend in reports even if the feed stays
+        // dormant this run (a revived session's cumulative epsilon
+        // overwrites these on merge).
+        slot.merged.epsilon_spent =
+            config_.stream.accounting == BudgetAccounting::kWholesale
+                ? feed.wholesale_spent
+                : feed.per_object_floor;
+        slot.merged.epsilon_wholesale_equivalent = feed.wholesale_spent;
+      }
+      report_.feeds_recovered = snapshot->feeds.size();
+    }
+  }
   pool_ = std::make_unique<WorkStealingPool>(config_.pool_threads);
   arrivals_ =
       std::make_unique<BoundedQueue<Arrival>>(config_.arrival_queue_capacity);
@@ -146,6 +184,9 @@ Status ServiceDispatcher::Route(Arrival&& arrival,
         arrival.feed, config_.stream, master_seed_, slot.generations,
         slot.carry);
     ++slot.generations;
+    // Generation bumps must be durable (a successor session's RNG stream
+    // derives from them); an interval snapshot picks this up.
+    ledger_dirty_ = true;
     ++report_.sessions_created;
     ++active_sessions_;
     report_.peak_active_sessions =
@@ -209,6 +250,7 @@ void ServiceDispatcher::EvictSession(FeedSlot* slot) {
   slot->carry = slot->session->Carry();
   slot->ever_evicted = true;
   slot->session.reset();
+  ledger_dirty_ = true;
   ++report_.sessions_evicted;
   --active_sessions_;
 }
@@ -269,7 +311,7 @@ void ServiceDispatcher::SubmitReady() {
   }
 }
 
-void ServiceDispatcher::HandleCompletion(
+void ServiceDispatcher::AbsorbCompletion(
     std::unique_ptr<Completion> completion) {
   --in_flight_;
   FeedSlot& slot = feeds_.at(completion->job.feed);
@@ -294,6 +336,7 @@ void ServiceDispatcher::HandleCompletion(
     Abort(window_report.status());
     return;
   }
+  ledger_dirty_ = true;  // Complete() charged the accountants
   if (config_.max_latency_samples > 0) {
     auto push = [&](std::vector<double>* samples, size_t* next, double x) {
       if (samples->size() < config_.max_latency_samples) {
@@ -307,16 +350,170 @@ void ServiceDispatcher::HandleCompletion(
          completion->job.close_wait_ms);
     push(&publish_samples_, &publish_next_, publish_ms);
   }
-  if (Status st = sink_(completion->job.feed, *completion->published,
-                        *window_report);
-      !st.ok()) {
-    Abort(st);
+  // The spend is charged; the output waits in pending_ until
+  // FlushPublishes has made a checkpoint covering it durable.
+  PendingPublish pending;
+  pending.feed = completion->job.feed;
+  pending.published = *std::move(completion->published);
+  pending.report = *window_report;
+  pending_.push_back(std::move(pending));
+}
+
+void ServiceDispatcher::FlushPublishes() {
+  if (pending_.empty()) return;
+  if (aborted_) {
+    // Outputs are discarded on abort; the budget above stays spent (same
+    // rule as a failed sink: never publish what the ledger might not
+    // cover, never refund what a worker already consumed).
+    pending_.clear();
     return;
   }
-  session.RecordPublished(*window_report);
-  if (session.evict_when_drained() && session.Drained()) {
-    EvictSession(&slot);
+  // Write-ahead: one durable snapshot covers every pending window's spend
+  // (Complete() already charged it, so Carry() includes it). Only then may
+  // the outputs leave the process. Batching amortizes the fsync across
+  // every completion absorbed this round.
+  if (store_.has_value()) {
+    if (Status st = WriteCheckpointNow(); !st.ok()) {
+      Abort(st);
+      pending_.clear();
+      return;
+    }
   }
+  for (PendingPublish& pending : pending_) {
+    if (aborted_) break;
+    FeedSlot& slot = feeds_.at(pending.feed);
+    if (Status st = sink_(pending.feed, pending.published, pending.report);
+        !st.ok()) {
+      Abort(st);
+      break;
+    }
+    slot.session->RecordPublished(pending.report);
+    if (slot.session->evict_when_drained() && slot.session->Drained()) {
+      EvictSession(&slot);
+    }
+  }
+  pending_.clear();
+}
+
+Status ServiceDispatcher::WriteCheckpointNow() {
+  ServiceCheckpoint image;
+  image.sequence = checkpoint_seq_ + 1;
+  image.total_budget = config_.stream.total_budget;
+  image.per_object_budget = config_.stream.per_object_budget;
+  image.feeds.reserve(feed_order_.size());
+  for (const auto& name : feed_order_) {
+    const FeedSlot& slot = feeds_.at(name);
+    FeedCheckpoint feed;
+    feed.feed = name;
+    feed.generations = slot.generations;
+    const FeedBudgetCarry carry =
+        slot.session ? slot.session->Carry() : slot.carry;
+    feed.windows_closed = carry.windows_closed;
+    feed.wholesale_spent = carry.wholesale_spent;
+    feed.per_object_floor = carry.per_object_floor;
+    image.feeds.push_back(std::move(feed));
+  }
+  FRT_RETURN_IF_ERROR(store_->Write(image));
+  checkpoint_seq_ = image.sequence;
+  ++checkpoints_written_;
+  ledger_dirty_ = false;
+  last_checkpoint_ = SteadyClock::now();
+  return Status::OK();
+}
+
+void ServiceDispatcher::MaybeCheckpoint(SteadyClock::time_point now) {
+  if (!store_.has_value() || !ledger_dirty_ || aborted_) return;
+  if (now - last_checkpoint_ <
+      std::chrono::milliseconds(std::max<int64_t>(
+          config_.checkpoint_interval_ms, 1))) {
+    return;
+  }
+  if (Status st = WriteCheckpointNow(); !st.ok()) Abort(st);
+}
+
+void ServiceDispatcher::MaybePublishMetrics(SteadyClock::time_point now) {
+  if (config_.metrics == nullptr) return;
+  if (now - last_metrics_ <
+      std::chrono::milliseconds(
+          std::max<int64_t>(config_.metrics_interval_ms, 1))) {
+    return;
+  }
+  PublishMetricsNow(now);
+}
+
+void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
+  if (config_.metrics == nullptr) return;
+  MetricsSnapshot s;
+  s.seq = ++metrics_seq_;
+  s.uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - started_at_)
+                    .count();
+  s.feeds = feed_order_.size();
+  s.active_sessions = active_sessions_;
+  s.queue_depth = arrivals_->size();
+  s.in_flight = in_flight_;
+  const bool per_feed = config_.metrics->per_feed();
+  const double budget =
+      config_.stream.accounting == BudgetAccounting::kWholesale
+          ? config_.stream.total_budget
+          : config_.stream.per_object_budget;
+  for (const auto& name : feed_order_) {
+    const FeedSlot& slot = feeds_.at(name);
+    // Merged (evicted-generation) counters plus the live session's; the
+    // live session's epsilon is already cumulative (its accountants were
+    // preloaded with the predecessors' spend).
+    size_t windows_closed = slot.merged.windows_closed;
+    size_t windows_published = slot.merged.windows_published;
+    size_t windows_refused = slot.merged.windows_refused;
+    size_t windows_deadline = slot.merged.windows_deadline_closed;
+    size_t trajectories_in = slot.merged.trajectories_in;
+    size_t trajectories_published = slot.merged.trajectories_published;
+    double epsilon_spent = slot.merged.epsilon_spent;
+    if (slot.session) {
+      s.backlog_windows += slot.session->backlog_size();
+      const StreamReport& live = slot.session->report();
+      windows_closed += live.windows_closed;
+      windows_published += live.windows_published;
+      windows_refused += live.windows_refused;
+      windows_deadline += live.windows_deadline_closed;
+      trajectories_in += live.trajectories_in;
+      trajectories_published += live.trajectories_published;
+      epsilon_spent = live.epsilon_spent;
+    }
+    s.windows_closed += windows_closed;
+    s.windows_published += windows_published;
+    s.windows_refused += windows_refused;
+    s.windows_deadline_closed += windows_deadline;
+    s.trajectories_in += trajectories_in;
+    s.trajectories_published += trajectories_published;
+    s.epsilon_spent_max = std::max(s.epsilon_spent_max, epsilon_spent);
+    if (per_feed) {
+      MetricsSnapshot::Feed detail;
+      detail.feed = name;
+      detail.epsilon_spent = epsilon_spent;
+      detail.epsilon_remaining =
+          budget > 0.0 ? std::max(0.0, budget - epsilon_spent)
+                       : std::numeric_limits<double>::infinity();
+      detail.windows_published = windows_published;
+      detail.windows_refused = windows_refused;
+      s.feeds_detail.push_back(std::move(detail));
+    }
+  }
+  if (config_.max_latency_samples > 0) {
+    s.close_wait_p50_ms = Percentile(close_wait_samples_, 0.50);
+    s.close_wait_p99_ms = Percentile(close_wait_samples_, 0.99);
+    s.publish_p50_ms = Percentile(publish_samples_, 0.50);
+    s.publish_p99_ms = Percentile(publish_samples_, 0.99);
+  }
+  s.checkpoint_seq = checkpoint_seq_;
+  s.checkpoints_written = checkpoints_written_;
+  if (store_.has_value() && checkpoints_written_ > 0) {
+    s.checkpoint_age_ms =
+        std::chrono::duration<double, std::milli>(now - last_checkpoint_)
+            .count();
+  }
+  config_.metrics->Publish(std::move(s));
+  last_metrics_ = now;
 }
 
 void ServiceDispatcher::BuildFinalReport() {
@@ -348,6 +545,8 @@ void ServiceDispatcher::BuildFinalReport() {
             [](const FeedReport& a, const FeedReport& b) {
               return a.feed < b.feed;
             });
+  report_.checkpoints_written = checkpoints_written_;
+  report_.checkpoint_sequence = checkpoint_seq_;
   report_.close_wait_p50_ms = Percentile(close_wait_samples_, 0.50);
   report_.close_wait_p99_ms = Percentile(close_wait_samples_, 0.99);
   report_.close_wait_max_ms = MaxSample(close_wait_samples_);
@@ -358,13 +557,21 @@ void ServiceDispatcher::BuildFinalReport() {
 
 void ServiceDispatcher::DispatcherLoop() {
   Stopwatch wall;
+  started_at_ = SteadyClock::now();
+  last_checkpoint_ = started_at_;
+  last_metrics_ = started_at_;
+  // An immediate first snapshot: even a sub-interval run leaves one line
+  // behind when the exporter flushes at Stop().
+  PublishMetricsNow(started_at_);
   bool input_done = false;
   while (!input_done) {
-    // Absorb whatever the workers finished, then top the pool back up.
+    // Absorb whatever the workers finished, then publish it (write-ahead
+    // checkpoint first), then top the pool back up.
     std::unique_ptr<Completion> completion;
     while (completions_->TryPop(&completion)) {
-      HandleCompletion(std::move(completion));
+      AbsorbCompletion(std::move(completion));
     }
+    FlushPublishes();
     SubmitReady();
 
     // Sleep until the next arrival — but no later than the earliest
@@ -395,6 +602,22 @@ void ServiceDispatcher::DispatcherLoop() {
         }
       }
     }
+    // Housekeeping deadlines: the next metrics tick, and the interval
+    // snapshot for dirty ledgers that have no publish to ride on.
+    if (config_.metrics != nullptr) {
+      deadline = std::min(
+          deadline,
+          last_metrics_ + std::chrono::milliseconds(std::max<int64_t>(
+                              config_.metrics_interval_ms, 1)));
+      timed = true;
+    }
+    if (store_.has_value() && ledger_dirty_ && !aborted_) {
+      deadline = std::min(
+          deadline,
+          last_checkpoint_ + std::chrono::milliseconds(std::max<int64_t>(
+                                 config_.checkpoint_interval_ms, 1)));
+      timed = true;
+    }
 
     if (!aborted_ && backlog_windows >= config_.max_backlog_windows) {
       // The pool is the bottleneck: pause ingress (arrivals pile into the
@@ -406,13 +629,16 @@ void ServiceDispatcher::DispatcherLoop() {
           std::min(deadline, SteadyClock::now() + kCompletionPoll * 20);
       if (completions_->PopUntil(wait_until, &completion) ==
           QueuePop::kItem) {
-        HandleCompletion(std::move(completion));
+        AbsorbCompletion(std::move(completion));
       }
+      FlushPublishes();
       const SteadyClock::time_point now = SteadyClock::now();
       if (!aborted_ && !stopping_) {
         if (Status st = CloseExpired(now); !st.ok()) Abort(st);
         if (Status st = EvictIdle(now); !st.ok()) Abort(st);
       }
+      MaybeCheckpoint(now);
+      MaybePublishMetrics(now);
       continue;
     }
     if (in_flight_ > 0) {
@@ -454,6 +680,8 @@ void ServiceDispatcher::DispatcherLoop() {
       if (Status st = CloseExpired(now); !st.ok()) Abort(st);
       if (Status st = EvictIdle(now); !st.ok()) Abort(st);
     }
+    MaybeCheckpoint(now);
+    MaybePublishMetrics(now);
   }
 
   // Ingress finished: flush every session's trailing partial window, then
@@ -478,13 +706,23 @@ void ServiceDispatcher::DispatcherLoop() {
     std::optional<std::unique_ptr<Completion>> completion =
         completions_->Pop();
     if (!completion.has_value()) break;  // defensive; queue is not closed
-    HandleCompletion(std::move(*completion));
+    AbsorbCompletion(std::move(*completion));
+    FlushPublishes();
     SubmitReady();
+    MaybePublishMetrics(SteadyClock::now());
   }
   pool_->WaitIdle();
   completions_->Close();
+  // Clean-shutdown snapshot: the final generations/window counters become
+  // durable even when the tail had no publish to ride on. After an abort
+  // the attempt is still made (recording MORE spend is always safe), but
+  // its failure cannot mask the original error.
+  if (store_.has_value()) {
+    if (Status st = WriteCheckpointNow(); !st.ok() && !aborted_) Abort(st);
+  }
   BuildFinalReport();
   report_.wall_seconds = wall.ElapsedSeconds();
+  PublishMetricsNow(SteadyClock::now());
 }
 
 }  // namespace frt

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -58,7 +59,9 @@
 #include "common/bounded_queue.h"
 #include "common/result.h"
 #include "runtime/work_stealing_pool.h"
+#include "service/checkpoint.h"
 #include "service/feed_session.h"
+#include "service/metrics_exporter.h"
 #include "stream/stream_runner.h"
 #include "traj/dataset.h"
 
@@ -93,6 +96,23 @@ struct ServiceConfig {
   /// Close-wait / publish-latency samples retained for the p50/p99
   /// aggregates (newest kept). 0 keeps none.
   size_t max_latency_samples = 1 << 14;
+  /// Durable budget ledgers: when non-empty, per-feed ledger snapshots are
+  /// checkpointed into this directory and recovered from it on Start()
+  /// through the conservative PreloadSpent/PreloadFloor carry path. The
+  /// write-ahead rule: a snapshot covering a window's spend is made
+  /// durable BEFORE that window reaches the sink, so a crash can only
+  /// under-grant remaining budget, never over-grant (see
+  /// service/checkpoint.h). Empty disables checkpointing.
+  std::string state_dir;
+  /// Cadence (ms) for interval snapshots covering ledger changes with no
+  /// publish to ride on (session revivals, evictions). Publish-driven
+  /// write-ahead snapshots ignore this — they are mandatory.
+  int64_t checkpoint_interval_ms = 1000;
+  /// Optional metrics exporter (not owned; must outlive the service). The
+  /// dispatcher publishes a MetricsSnapshot every metrics_interval_ms; the
+  /// exporter's own thread does all formatting and IO.
+  MetricsExporter* metrics = nullptr;
+  int64_t metrics_interval_ms = 1000;
 };
 
 /// Per-feed outcome, merged across the feed's session generations.
@@ -132,6 +152,11 @@ struct ServiceReport {
   double publish_p50_ms = 0.0;
   double publish_p99_ms = 0.0;
   double publish_max_ms = 0.0;
+  /// Durability (state_dir set): snapshots written this run, the last
+  /// durable sequence number, and feeds revived from a prior snapshot.
+  size_t checkpoints_written = 0;
+  uint64_t checkpoint_sequence = 0;
+  size_t feeds_recovered = 0;
   /// Per-feed reports, sorted by feed id.
   std::vector<FeedReport> feeds_report;
 };
@@ -195,6 +220,14 @@ class ServiceDispatcher {
     StreamReport merged;
     bool ever_evicted = false;
   };
+  /// A completed window whose spend is charged but whose output has not
+  /// yet been handed to the sink — it waits for the write-ahead checkpoint
+  /// covering that spend.
+  struct PendingPublish {
+    std::string feed;
+    Dataset published;
+    WindowReport report;
+  };
 
   void DispatcherLoop();
   /// Routes one arrival into its session (reviving evicted feeds).
@@ -205,8 +238,23 @@ class ServiceDispatcher {
   Status EvictIdle(std::chrono::steady_clock::time_point now);
   /// Submits admissible backlog windows while in-flight capacity lasts.
   void SubmitReady();
-  /// Absorbs one finished job: accounting, sink, next submission.
-  void HandleCompletion(std::unique_ptr<Completion> completion);
+  /// Absorbs one finished job: charges budgets, samples latency, and
+  /// queues the output for FlushPublishes. Does NOT sink.
+  void AbsorbCompletion(std::unique_ptr<Completion> completion);
+  /// Publishes every pending window: one durable checkpoint covering all
+  /// their spend (state_dir set), then the sink calls, then the
+  /// drained-session evictions. Must run before CloseExpired/EvictIdle/
+  /// SubmitReady at every absorb site so eviction never outruns a pending
+  /// publish.
+  void FlushPublishes();
+  /// Snapshots every feed's carry state and durably replaces the
+  /// on-disk checkpoint.
+  Status WriteCheckpointNow();
+  /// Interval snapshot for dirty ledgers with no publish to ride on.
+  void MaybeCheckpoint(std::chrono::steady_clock::time_point now);
+  /// Publishes a MetricsSnapshot when the metrics interval elapsed.
+  void MaybePublishMetrics(std::chrono::steady_clock::time_point now);
+  void PublishMetricsNow(std::chrono::steady_clock::time_point now);
   /// Records a fatal error once and stops admitting new work.
   void Abort(Status status);
   /// Merges `session`'s report into its slot and tears the session down.
@@ -240,6 +288,19 @@ class ServiceDispatcher {
   std::vector<double> publish_samples_;
   size_t close_wait_next_ = 0;  ///< ring cursors once the sample cap hits
   size_t publish_next_ = 0;
+  // Durability + metrics (dispatcher thread only, except store_ creation
+  // and recovery, which Start() runs before the thread spawns).
+  std::optional<CheckpointStore> store_;
+  std::vector<PendingPublish> pending_;
+  uint64_t checkpoint_seq_ = 0;  ///< resumes from the recovered snapshot
+  size_t checkpoints_written_ = 0;
+  /// Ledger state changed since the last snapshot (spend, generation, or
+  /// window-counter movement).
+  bool ledger_dirty_ = false;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::chrono::steady_clock::time_point last_checkpoint_{};
+  std::chrono::steady_clock::time_point last_metrics_{};
+  uint64_t metrics_seq_ = 0;
   ServiceReport report_;
 };
 

@@ -202,6 +202,16 @@ Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
                            ? ObjectBudgetAccountant(config_.per_object_budget)
                            : ObjectBudgetAccountant();
   object_accountant_.set_max_tracked_objects(config_.max_tracked_objects);
+  // Spend recovered from a durable checkpoint of a previous run: the same
+  // conservative carry the serving layer's idle eviction uses. A recovered
+  // run can only under-grant remaining budget, never over-grant.
+  if (config_.preload_wholesale_spent > 0.0) {
+    accountant_.PreloadSpent(config_.preload_wholesale_spent,
+                             "recovered from checkpoint");
+  }
+  if (config_.preload_object_floor > 0.0) {
+    object_accountant_.PreloadFloor(config_.preload_object_floor);
+  }
   Stopwatch wall;
 
   // One pool for the whole stream; every window's BatchRunner borrows it,

@@ -140,6 +140,13 @@ struct StreamRunnerConfig {
   /// (default) disables: windows close on count or end of stream only, and
   /// the ingest path is byte-identical to previous releases.
   int64_t close_after_ms = 0;
+  /// Budget state recovered from a durable checkpoint of a previous run
+  /// (see service/checkpoint.h), preloaded before the first window: the
+  /// exact wholesale spend via PrivacyAccountant::PreloadSpent, and the
+  /// conservative per-object floor via
+  /// ObjectBudgetAccountant::PreloadFloor. 0 (default) starts fresh.
+  double preload_wholesale_spent = 0.0;
+  double preload_object_floor = 0.0;
 };
 
 /// Diagnostics of one published window.

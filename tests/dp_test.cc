@@ -102,6 +102,36 @@ TEST(AccountantTest, TracksSequentialComposition) {
   EXPECT_FALSE(acc.enforcing());
 }
 
+TEST(AccountantTest, LedgerCapKeepsSpentAndEnforcementExact) {
+  PrivacyAccountant acc(10.0);
+  acc.set_max_ledger_entries(4);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(acc.Spend(0.25, "w" + std::to_string(i)).ok());
+    EXPECT_LE(acc.ledger().size(), 4u);
+  }
+  // Trimming drops entries, never spend: the total and the remaining
+  // budget reflect all 32 spends, and enforcement still fires on them.
+  EXPECT_DOUBLE_EQ(acc.spent(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.remaining(), 2.0);
+  ASSERT_EQ(acc.ledger().size(), 4u);
+  EXPECT_EQ(acc.ledger()[0].label, "w28");  // oldest retained
+  EXPECT_EQ(acc.ledger()[3].label, "w31");
+  EXPECT_EQ(acc.Spend(2.5, "over").code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(acc.Spend(2.0, "fits").ok());
+  EXPECT_NEAR(acc.remaining(), 0.0, 1e-12);
+
+  // PreloadSpent trims too: a recovered feed with a capped ledger still
+  // carries its full spend.
+  PrivacyAccountant carried(10.0);
+  carried.set_max_ledger_entries(1);
+  carried.PreloadSpent(8.0, "recovered from checkpoint");
+  ASSERT_TRUE(carried.Spend(1.0, "next").ok());
+  EXPECT_EQ(carried.ledger().size(), 1u);
+  EXPECT_DOUBLE_EQ(carried.spent(), 9.0);
+  EXPECT_EQ(carried.Spend(1.5, "over").code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(AccountantTest, EnforcesBudget) {
   PrivacyAccountant acc(1.0);
   EXPECT_TRUE(acc.Spend(0.6, "a").ok());

@@ -75,6 +75,25 @@ def compact(raw):
     return out
 
 
+def derive_checkpoint_overhead(benchmarks):
+    """Surfaces the serve study's paired checkpoint overhead measurement.
+
+    BM_ServeCheckpoint runs the same workload with durable ledgers off and
+    on inside every iteration and reports the paired throughput ratio as a
+    counter. Returns {"throughput_ratio": on/off, "source": name} or None
+    when the report has no such entry. The acceptance claim is
+    ratio >= 0.9 (checkpointing costs at most 10%).
+    """
+    for name, entry in benchmarks.items():
+        if "ServeCheckpoint" in name and "checkpoint_throughput_ratio" in entry:
+            return {
+                "throughput_ratio": round(
+                    entry["checkpoint_throughput_ratio"], 3),
+                "source": name,
+            }
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     source = parser.add_mutually_exclusive_group(required=True)
@@ -107,6 +126,10 @@ def main():
         },
         "benchmarks": compact(raw),
     }
+
+    checkpoint = derive_checkpoint_overhead(report["benchmarks"])
+    if checkpoint is not None:
+        report["checkpoint_overhead"] = checkpoint
 
     if args.baseline:
         with open(args.baseline) as f:

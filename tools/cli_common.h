@@ -5,16 +5,71 @@
 #ifndef FRT_TOOLS_CLI_COMMON_H_
 #define FRT_TOOLS_CLI_COMMON_H_
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
+#include "common/strings.h"
 #include "core/pipeline.h"
+#include "service/metrics_exporter.h"
 #include "stream/stream_runner.h"
 
 namespace frt::cli {
+
+// ---- Strict numeric flag values ----
+//
+// atof/atoi map a malformed value ("oops", "1.5x", "") to 0 silently — a
+// zero budget then refuses every window with no diagnostic pointing at the
+// typo. Every numeric flag instead parses strictly: the whole value must
+// be a number, trailing garbage and empty strings are usage errors that
+// name the offending flag, and the tool exits non-zero.
+
+/// \brief Parses `value` as a double for `flag`. Reports and returns false
+/// on anything but a complete, finite-syntax number.
+inline bool ParseFlagDouble(const char* flag, const char* value,
+                            double* out) {
+  Result<double> parsed = ParseDouble(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "invalid numeric value '%s' for %s\n", value, flag);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// \brief Parses `value` as a signed integer for `flag` (strict; see
+/// above).
+inline bool ParseFlagInt64(const char* flag, const char* value,
+                           int64_t* out) {
+  const char* end = value + std::strlen(value);
+  int64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end || value == end) {
+    std::fprintf(stderr, "invalid integer value '%s' for %s\n", value, flag);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+/// \brief Parses `value` as an unsigned integer for `flag` (strict; a
+/// leading '-' is rejected, not wrapped).
+inline bool ParseFlagUint64(const char* flag, const char* value,
+                            uint64_t* out) {
+  const char* end = value + std::strlen(value);
+  uint64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end || value == end) {
+    std::fprintf(stderr, "invalid integer value '%s' for %s\n", value, flag);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
 
 /// Maps the --strategy flag spelling to a SearchStrategy. The single
 /// source of the ladder: every tool that grows a strategy flag uses this,
@@ -69,13 +124,23 @@ inline FlagParse ParsePipelineFlag(int argc, char** argv, int* i,
   const char* v = nullptr;
   if (std::strcmp(flag, "--epsilon-global") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->epsilon_global = std::atof(v);
+    if (!ParseFlagDouble(flag, v, &args->epsilon_global)) {
+      return FlagParse::kError;
+    }
   } else if (std::strcmp(flag, "--epsilon-local") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->epsilon_local = std::atof(v);
+    if (!ParseFlagDouble(flag, v, &args->epsilon_local)) {
+      return FlagParse::kError;
+    }
   } else if (std::strcmp(flag, "--m") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->m = std::atoi(v);
+    int64_t m = 0;
+    if (!ParseFlagInt64(flag, v, &m)) return FlagParse::kError;
+    if (m < 1 || m > std::numeric_limits<int>::max()) {
+      std::fprintf(stderr, "--m must be a positive int\n");
+      return FlagParse::kError;
+    }
+    args->m = static_cast<int>(m);
   } else if (std::strcmp(flag, "--strategy") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
     args->strategy = v;
@@ -84,17 +149,25 @@ inline FlagParse ParsePipelineFlag(int argc, char** argv, int* i,
     args->order = v;
   } else if (std::strcmp(flag, "--seed") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->seed = std::strtoull(v, nullptr, 10);
+    if (!ParseFlagUint64(flag, v, &args->seed)) return FlagParse::kError;
   } else if (std::strcmp(flag, "--shards") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->shards = std::atoi(v);
-    if (args->shards < 1) {
+    int64_t shards = 0;
+    if (!ParseFlagInt64(flag, v, &shards)) return FlagParse::kError;
+    if (shards < 1 || shards > std::numeric_limits<int>::max()) {
       std::fprintf(stderr, "--shards must be >= 1\n");
       return FlagParse::kError;
     }
+    args->shards = static_cast<int>(shards);
   } else if (std::strcmp(flag, "--threads") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    uint64_t threads = 0;
+    if (!ParseFlagUint64(flag, v, &threads)) return FlagParse::kError;
+    if (threads > std::numeric_limits<unsigned>::max()) {
+      std::fprintf(stderr, "--threads value out of range\n");
+      return FlagParse::kError;
+    }
+    args->threads = static_cast<unsigned>(threads);
   } else {
     return FlagParse::kNotMine;
   }
@@ -170,7 +243,8 @@ inline FlagParse ParseStreamFlag(int argc, char** argv, int* i,
   const char* v = nullptr;
   if (std::strcmp(flag, "--window") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    const long long n = std::atoll(v);
+    int64_t n = 0;
+    if (!ParseFlagInt64(flag, v, &n)) return FlagParse::kError;
     if (n < 1) {
       std::fprintf(stderr, "--window must be >= 1\n");
       return FlagParse::kError;
@@ -178,7 +252,8 @@ inline FlagParse ParseStreamFlag(int argc, char** argv, int* i,
     args->window = static_cast<size_t>(n);
   } else if (std::strcmp(flag, "--stride") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    const long long n = std::atoll(v);
+    int64_t n = 0;
+    if (!ParseFlagInt64(flag, v, &n)) return FlagParse::kError;
     if (n < 1) {
       std::fprintf(stderr, "--stride must be >= 1\n");
       return FlagParse::kError;
@@ -186,15 +261,19 @@ inline FlagParse ParseStreamFlag(int argc, char** argv, int* i,
     args->stride = static_cast<size_t>(n);
   } else if (std::strcmp(flag, "--budget") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->budget = std::atof(v);
+    if (!ParseFlagDouble(flag, v, &args->budget)) return FlagParse::kError;
   } else if (std::strcmp(flag, "--per-object-budget") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->per_object_budget = std::atof(v);
+    if (!ParseFlagDouble(flag, v, &args->per_object_budget)) {
+      return FlagParse::kError;
+    }
   } else if (std::strcmp(flag, "--evict-exhausted") == 0) {
     args->evict_exhausted = true;
   } else if (std::strcmp(flag, "--queue") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    args->queue = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    uint64_t n = 0;
+    if (!ParseFlagUint64(flag, v, &n)) return FlagParse::kError;
+    args->queue = static_cast<size_t>(n);
   } else if (std::strcmp(flag, "--dispatch") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
     args->dispatch = v;
@@ -202,12 +281,13 @@ inline FlagParse ParseStreamFlag(int argc, char** argv, int* i,
     args->stop_on_exhausted = true;
   } else if (std::strcmp(flag, "--close-after-ms") == 0) {
     if ((v = next()) == nullptr) return FlagParse::kError;
-    const long long n = std::atoll(v);
+    int64_t n = 0;
+    if (!ParseFlagInt64(flag, v, &n)) return FlagParse::kError;
     if (n < 0) {
       std::fprintf(stderr, "--close-after-ms must be >= 0\n");
       return FlagParse::kError;
     }
-    args->close_after_ms = static_cast<int64_t>(n);
+    args->close_after_ms = n;
   } else {
     return FlagParse::kNotMine;
   }
@@ -296,6 +376,99 @@ inline const char* StreamUsageText() {
       "                       no later than N ms after its oldest pending\n"
       "                       arrival, even if short of --window (default "
       "0 = off)\n";
+}
+
+// ---- Durability & metrics flags (frt_serve, frt_stream) ----
+
+/// Raw values of the shared durability/metrics flags.
+struct DurabilityArgs {
+  /// Budget-ledger checkpoint directory; empty = checkpointing off.
+  std::string state_dir;
+  int64_t checkpoint_interval_ms = 1000;
+  /// Metrics output: a file path or "-" for stderr; empty = metrics off.
+  std::string metrics;
+  int64_t metrics_interval_ms = 1000;
+  bool metrics_per_feed = false;
+};
+
+/// \brief Tries to consume argv[*i] as one of the durability/metrics
+/// flags.
+inline FlagParse ParseDurabilityFlag(int argc, char** argv, int* i,
+                                     DurabilityArgs* args) {
+  const char* flag = argv[*i];
+  auto next = [&]() -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  const char* v = nullptr;
+  if (std::strcmp(flag, "--state-dir") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->state_dir = v;
+  } else if (std::strcmp(flag, "--checkpoint-interval-ms") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    int64_t n = 0;
+    if (!ParseFlagInt64(flag, v, &n)) return FlagParse::kError;
+    if (n < 1) {
+      std::fprintf(stderr, "--checkpoint-interval-ms must be >= 1\n");
+      return FlagParse::kError;
+    }
+    args->checkpoint_interval_ms = n;
+  } else if (std::strcmp(flag, "--metrics") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->metrics = v;
+  } else if (std::strcmp(flag, "--metrics-interval-ms") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    int64_t n = 0;
+    if (!ParseFlagInt64(flag, v, &n)) return FlagParse::kError;
+    if (n < 1) {
+      std::fprintf(stderr, "--metrics-interval-ms must be >= 1\n");
+      return FlagParse::kError;
+    }
+    args->metrics_interval_ms = n;
+  } else if (std::strcmp(flag, "--metrics-per-feed") == 0) {
+    args->metrics_per_feed = true;
+  } else {
+    return FlagParse::kNotMine;
+  }
+  return FlagParse::kConsumed;
+}
+
+/// Exporter options from the parsed flags (only meaningful when
+/// args.metrics is non-empty).
+inline MetricsExporter::Options MakeMetricsOptions(
+    const DurabilityArgs& args) {
+  MetricsExporter::Options options;
+  options.path = args.metrics;
+  options.interval_ms = args.metrics_interval_ms;
+  options.per_feed = args.metrics_per_feed;
+  return options;
+}
+
+/// Usage text of the durability/metrics flags.
+inline const char* DurabilityUsageText() {
+  return
+      "  --state-dir DIR      durable budget ledgers: checkpoint per-feed "
+      "spend\n"
+      "                       into DIR (write-ahead of every publish) and "
+      "recover\n"
+      "                       it on startup, so a restart never re-grants "
+      "spent\n"
+      "                       epsilon (default: off)\n"
+      "  --checkpoint-interval-ms N\n"
+      "                       cadence for interval snapshots of ledger "
+      "changes\n"
+      "                       with no publish to ride on (default 1000)\n"
+      "  --metrics PATH       append one machine-readable frt_metrics line "
+      "per\n"
+      "                       interval to PATH, or - for stderr (default: "
+      "off)\n"
+      "  --metrics-interval-ms N\n"
+      "                       metrics emission interval (default 1000)\n"
+      "  --metrics-per-feed   also emit one frt_feed line per feed per "
+      "interval\n";
 }
 
 }  // namespace frt::cli

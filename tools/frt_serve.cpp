@@ -20,10 +20,19 @@
 //   frt_serve (--feeds FILE|- | --input [NAME=]FILE ...)
 //       (--output FILE|- | --output-dir DIR)
 //       [--evict-idle-ms 0] [--pool-threads 0] [--max-in-flight 0]
+//       [durability flags: --state-dir --checkpoint-interval-ms
+//        --metrics --metrics-interval-ms --metrics-per-feed]
 //       [stream flags: --window --stride --budget --per-object-budget
 //        --evict-exhausted --queue --close-after-ms ...]
 //       [pipeline flags: --epsilon-global --epsilon-local --m --strategy
 //        --order --seed --shards ...]
+//
+// With --state-dir the per-feed budget ledgers are checkpointed durably
+// (write-ahead of every publish) and recovered on the next start through
+// the same conservative carry path idle eviction uses — a crash or
+// restart never re-grants spent epsilon. --metrics appends one
+// machine-readable frt_metrics line per interval (see
+// service/metrics_exporter.h).
 //
 // --output writes one merged stream in the multi-feed format (lines
 // `feed,traj_id,x,y,t`); --output-dir writes one classic dataset CSV per
@@ -66,6 +75,7 @@ struct Args {
   size_t max_in_flight = 0;
   frt::cli::StreamArgs stream;
   frt::cli::PipelineArgs pipeline;
+  frt::cli::DurabilityArgs durability;
 };
 
 void Usage(const char* prog) {
@@ -86,8 +96,9 @@ void Usage(const char* prog) {
       "max(2, cores))\n"
       "  --max-in-flight N    concurrent window jobs across feeds "
       "(default 0 = 2x pool)\n"
-      "%s%s",
-      prog, frt::cli::StreamUsageText(), frt::cli::PipelineUsageText());
+      "%s%s%s",
+      prog, frt::cli::DurabilityUsageText(), frt::cli::StreamUsageText(),
+      frt::cli::PipelineUsageText());
 }
 
 std::string FeedNameFromPath(const std::string& path) {
@@ -109,6 +120,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         break;
     }
     switch (frt::cli::ParseStreamFlag(argc, argv, &i, &args->stream)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
+    switch (
+        frt::cli::ParseDurabilityFlag(argc, argv, &i, &args->durability)) {
       case frt::cli::FlagParse::kConsumed:
         continue;
       case frt::cli::FlagParse::kError:
@@ -144,19 +164,25 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->output_dir = v;
     } else if (std::strcmp(argv[i], "--evict-idle-ms") == 0) {
       if ((v = next("--evict-idle-ms")) == nullptr) return false;
-      args->evict_idle_ms = std::atoll(v);
-      if (args->evict_idle_ms < 0) {
+      int64_t n = 0;
+      if (!frt::cli::ParseFlagInt64("--evict-idle-ms", v, &n)) return false;
+      if (n < 0) {
         std::fprintf(stderr, "--evict-idle-ms must be >= 0\n");
         return false;
       }
+      args->evict_idle_ms = n;
     } else if (std::strcmp(argv[i], "--pool-threads") == 0) {
       if ((v = next("--pool-threads")) == nullptr) return false;
-      args->pool_threads =
-          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      uint64_t n = 0;
+      if (!frt::cli::ParseFlagUint64("--pool-threads", v, &n)) return false;
+      args->pool_threads = static_cast<unsigned>(n);
     } else if (std::strcmp(argv[i], "--max-in-flight") == 0) {
       if ((v = next("--max-in-flight")) == nullptr) return false;
-      args->max_in_flight =
-          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      uint64_t n = 0;
+      if (!frt::cli::ParseFlagUint64("--max-in-flight", v, &n)) {
+        return false;
+      }
+      args->max_in_flight = static_cast<size_t>(n);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -275,6 +301,22 @@ int main(int argc, char** argv) {
   // The shared --queue flag bounds the service's tagged arrival queue
   // (per-session queues do not exist; backpressure is at the dispatcher).
   config.arrival_queue_capacity = config.stream.queue_capacity;
+  config.state_dir = args.durability.state_dir;
+  config.checkpoint_interval_ms = args.durability.checkpoint_interval_ms;
+
+  // The exporter outlives the service (the dispatcher thread publishes
+  // into it until Finish), so it is declared first and stopped last.
+  std::unique_ptr<frt::MetricsExporter> metrics;
+  if (!args.durability.metrics.empty()) {
+    metrics = std::make_unique<frt::MetricsExporter>(
+        frt::cli::MakeMetricsOptions(args.durability));
+    if (auto st = metrics->Start(); !st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    config.metrics = metrics.get();
+    config.metrics_interval_ms = args.durability.metrics_interval_ms;
+  }
 
   // ---- Output plumbing (called from the dispatcher thread only). ----
   std::ofstream merged_file;
@@ -394,6 +436,7 @@ int main(int argc, char** argv) {
   }
 
   frt::Status run_status = service.Finish();
+  if (metrics) metrics->Stop();  // flush the final frt_metrics line
   if (run_status.ok()) run_status = ingest_status;
   if (!run_status.ok()) {
     std::fprintf(stderr, "serve: %s\n", run_status.ToString().c_str());
@@ -431,6 +474,15 @@ int main(int argc, char** argv) {
       report.trajectories_published, report.close_wait_p50_ms,
       report.close_wait_p99_ms, report.close_wait_max_ms,
       report.publish_p50_ms, report.publish_p99_ms);
+  if (!args.durability.state_dir.empty()) {
+    std::fprintf(
+        stderr,
+        "durability: recovered %zu feed(s) from %s, wrote %zu "
+        "checkpoint(s) (last seq %llu)\n",
+        report.feeds_recovered, args.durability.state_dir.c_str(),
+        report.checkpoints_written,
+        static_cast<unsigned long long>(report.checkpoint_sequence));
+  }
   if (frt::ServiceHadRefusals(report)) {
     std::fprintf(stderr,
                  "budget exhausted on at least one feed: %zu window(s) / "

@@ -24,7 +24,13 @@
 //       [--strategy hg+|hgt|hgb|ug|linear] [--order global|local]
 //       [--seed 42] [--shards 1] [--threads 0] [--queue 0]
 //       [--dispatch steal|static] [--stop-on-exhausted]
-//       [--close-after-ms 0]
+//       [--close-after-ms 0] [--state-dir DIR] [--metrics PATH]
+//
+// With --state-dir the budget ledger is checkpointed durably before every
+// published window leaves the process and recovered on the next start
+// (PrivacyAccountant::PreloadSpent / ObjectBudgetAccountant::PreloadFloor
+// — the conservative carry), so a crash or restart against the same state
+// dir never re-grants spent epsilon.
 //
 // --close-after-ms is the latency SLO for live/trickle feeds: a non-empty
 // window is published no later than that many milliseconds after its
@@ -34,14 +40,21 @@
 // window was refused (or object evicted) on budget; 1 = runtime error;
 // 2 = usage error.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "cli_common.h"
 #include "frt.h"
+#include "service/checkpoint.h"
+#include "service/metrics_exporter.h"
 #include "stream/ingest.h"
 #include "stream/stream_runner.h"
 
@@ -52,15 +65,16 @@ struct Args {
   std::string output;
   frt::cli::StreamArgs stream;
   frt::cli::PipelineArgs pipeline;
+  frt::cli::DurabilityArgs durability;
 };
 
 void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --input FILE|- --output FILE|- [options]\n"
                "  --input -            read the feed from stdin\n"
-               "%s%s",
-               prog, frt::cli::StreamUsageText(),
-               frt::cli::PipelineUsageText());
+               "%s%s%s",
+               prog, frt::cli::DurabilityUsageText(),
+               frt::cli::StreamUsageText(), frt::cli::PipelineUsageText());
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -74,6 +88,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         break;
     }
     switch (frt::cli::ParseStreamFlag(argc, argv, &i, &args->stream)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
+    switch (
+        frt::cli::ParseDurabilityFlag(argc, argv, &i, &args->durability)) {
       case frt::cli::FlagParse::kConsumed:
         continue;
       case frt::cli::FlagParse::kError:
@@ -150,15 +173,94 @@ int main(int argc, char** argv) {
   }
   std::ostream& out = args.output == "-" ? std::cout : output_file;
 
+  // ---- Durable budget ledger (single feed entry "stream"). ----
+  std::optional<frt::CheckpointStore> store;
+  uint64_t checkpoint_seq = 0;
+  uint64_t generation = 0;
+  uint64_t windows_closed_base = 0;
+  size_t checkpoints_written = 0;
+  if (!args.durability.state_dir.empty()) {
+    auto opened = frt::CheckpointStore::Open(args.durability.state_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "stream: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store.emplace(*std::move(opened));
+    auto loaded = store->Load();
+    if (!loaded.ok()) {
+      // A corrupt snapshot must fail the start: running without the
+      // recovered spend would re-grant budget that was already consumed.
+      std::fprintf(stderr, "stream: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    if (loaded->has_value()) {
+      checkpoint_seq = (*loaded)->sequence;
+      for (const frt::FeedCheckpoint& feed : (*loaded)->feeds) {
+        if (feed.feed != "stream") continue;
+        config.preload_wholesale_spent = feed.wholesale_spent;
+        config.preload_object_floor = feed.per_object_floor;
+        generation = feed.generations;
+        windows_closed_base = feed.windows_closed;
+      }
+      std::fprintf(stderr,
+                   "stream: recovered budget state from %s (seq %llu, "
+                   "wholesale spent %.6f, per-object floor %.6f)\n",
+                   args.durability.state_dir.c_str(),
+                   static_cast<unsigned long long>(checkpoint_seq),
+                   config.preload_wholesale_spent,
+                   config.preload_object_floor);
+    }
+    ++generation;
+  }
+
+  std::unique_ptr<frt::MetricsExporter> metrics;
+  if (!args.durability.metrics.empty()) {
+    metrics = std::make_unique<frt::MetricsExporter>(
+        frt::cli::MakeMetricsOptions(args.durability));
+    if (auto st = metrics->Start(); !st.ok()) {
+      std::fprintf(stderr, "stream: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
   frt::TrajectoryReader reader(in);
   frt::StreamRunner runner(config);
   frt::Rng rng(args.pipeline.seed);
   const bool per_object =
       config.accounting == frt::BudgetAccounting::kPerObject;
+  const auto run_started = std::chrono::steady_clock::now();
+  size_t windows_published_so_far = 0;
+  size_t trajectories_published_so_far = 0;
+
+  auto write_checkpoint = [&]() -> frt::Status {
+    frt::ServiceCheckpoint image;
+    image.sequence = checkpoint_seq + 1;
+    image.total_budget = config.total_budget;
+    image.per_object_budget = config.per_object_budget;
+    frt::FeedCheckpoint feed;
+    feed.feed = "stream";
+    feed.generations = generation;
+    feed.windows_closed = windows_closed_base + windows_published_so_far;
+    feed.wholesale_spent = runner.accountant().spent();
+    feed.per_object_floor = runner.object_accountant().max_spent();
+    image.feeds.push_back(std::move(feed));
+    FRT_RETURN_IF_ERROR(store->Write(image));
+    checkpoint_seq = image.sequence;
+    ++checkpoints_written;
+    return frt::Status::OK();
+  };
 
   bool wrote_header = false;
   auto sink = [&](const frt::Dataset& published,
                   const frt::WindowReport& window) -> frt::Status {
+    // Write-ahead: ProcessWindow charged the accountants before calling
+    // the sink, so a durable snapshot taken NOW covers this window's
+    // spend. Only after it persists may the rows leave the process.
+    if (store.has_value()) {
+      FRT_RETURN_IF_ERROR(write_checkpoint());
+    }
     if (!wrote_header) {
       out << "# traj_id,x,y,t\n";
       wrote_header = true;
@@ -188,12 +290,59 @@ int main(int argc, char** argv) {
                             : ""),
                  batch.wall_seconds, batch.shard_wall_min,
                  batch.shard_wall_mean, batch.shard_wall_max);
+    ++windows_published_so_far;
+    trajectories_published_so_far += window.trajectories;
+    if (metrics) {
+      frt::MetricsSnapshot snapshot;
+      snapshot.seq = windows_published_so_far;
+      snapshot.uptime_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - run_started)
+              .count();
+      snapshot.feeds = 1;
+      snapshot.active_sessions = 1;
+      snapshot.windows_published = windows_published_so_far;
+      snapshot.trajectories_published = trajectories_published_so_far;
+      snapshot.epsilon_spent_max = window.epsilon_total;
+      snapshot.checkpoint_seq = checkpoint_seq;
+      snapshot.checkpoints_written = checkpoints_written;
+      if (checkpoints_written > 0) snapshot.checkpoint_age_ms = 0.0;
+      if (metrics->per_feed()) {
+        frt::MetricsSnapshot::Feed detail;
+        detail.feed = "stream";
+        detail.epsilon_spent = window.epsilon_total;
+        const double budget =
+            per_object ? config.per_object_budget : config.total_budget;
+        detail.epsilon_remaining =
+            budget > 0.0 ? std::max(0.0, budget - window.epsilon_total)
+                         : std::numeric_limits<double>::infinity();
+        detail.windows_published = windows_published_so_far;
+        snapshot.feeds_detail.push_back(std::move(detail));
+      }
+      metrics->Publish(std::move(snapshot));
+    }
     return frt::Status::OK();
   };
 
-  if (auto st = runner.Run(reader, sink, rng); !st.ok()) {
-    std::fprintf(stderr, "stream: %s\n", st.ToString().c_str());
+  frt::Status run_status = runner.Run(reader, sink, rng);
+  // Clean-shutdown snapshot: spend recorded after the last publish (or a
+  // failed run's partial spend) stays durable.
+  if (store.has_value()) {
+    if (auto st = write_checkpoint(); !st.ok() && run_status.ok()) {
+      run_status = st;
+    }
+  }
+  if (metrics) metrics->Stop();
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "stream: %s\n", run_status.ToString().c_str());
     return 1;
+  }
+  if (store.has_value()) {
+    std::fprintf(stderr,
+                 "durability: wrote %zu checkpoint(s) to %s (last seq "
+                 "%llu)\n",
+                 checkpoints_written, args.durability.state_dir.c_str(),
+                 static_cast<unsigned long long>(checkpoint_seq));
   }
 
   const frt::StreamReport& report = runner.report();
