@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace frt {
 namespace {
@@ -43,7 +45,32 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// UTC wall clock with millisecond precision, ISO-8601.
+void AppendUtcTimestamp(std::ostringstream& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];  // worst-case out-of-range tm fields still fit
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  out << buf;
+}
+
 }  // namespace
+
+unsigned CurrentThreadId() {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -61,7 +88,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level_) << " ";
+    AppendUtcTimestamp(stream_);
+    stream_ << " " << CurrentThreadId() << " " << base << ":" << line
+            << "] ";
   }
 }
 

@@ -3,6 +3,16 @@
 // Intentionally tiny: benches and examples print their own structured
 // output; logging exists for progress and warnings. Controlled globally via
 // SetLogLevel or the FRT_LOG_LEVEL environment variable (0=debug .. 4=off).
+//
+// Line format (stable):
+//
+//   [LEVEL 2026-08-07T10:15:02.123Z tid file.cc:42] message
+//
+// The timestamp is UTC wall-clock with millisecond precision, for
+// correlating log lines with frt_metrics ts_ms values and a trace dump's
+// start_unix_us. `tid` is a small process-local thread ordinal
+// (CurrentThreadId), not the OS tid: stable across the run and short
+// enough to eyeball.
 
 #ifndef FRT_COMMON_LOGGING_H_
 #define FRT_COMMON_LOGGING_H_
@@ -25,6 +35,11 @@ void SetLogLevel(LogLevel level);
 
 /// Current global level (initialized from FRT_LOG_LEVEL, default kWarning).
 LogLevel GetLogLevel();
+
+/// Small process-local ordinal of the calling thread (1, 2, ... in first-
+/// log order); used in log-line prefixes and reusable anywhere a compact
+/// stable thread id is wanted.
+unsigned CurrentThreadId();
 
 namespace internal {
 

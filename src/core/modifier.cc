@@ -1,11 +1,13 @@
 #include "core/modifier.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <unordered_set>
 
 #include "index/search_context.h"
+#include "obs/trace.h"
 
 namespace frt {
 namespace {
@@ -195,7 +197,16 @@ Status IntraTrajectoryModifier::Apply(EditableTrajectory* traj,
       SearchOptions options;
       options.k = static_cast<size_t>(remaining);
       options.group_by = GroupBy::kSegment;
+      // Sampled 1-in-64: full coverage would dominate the trace buffer.
+      const bool traced =
+          obs::TraceEnabled() && (stats->knn_searches & 63) == 0;
+      const auto knn_start = traced ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
       const auto neighbors = index->KNearest(q, options, &ctx);
+      if (traced) {
+        obs::EmitSpan("index_knn", obs::SpanCategory::kIndex, {}, knn_start,
+                      std::chrono::steady_clock::now());
+      }
       ++stats->knn_searches;
       if (neighbors.empty()) break;  // defensive; cannot happen with >=2 pts
       for (const Neighbor& nb : neighbors) {
@@ -310,7 +321,16 @@ Status InterTrajectoryModifier::Apply(std::vector<EditableTrajectory>* trajs,
     options.k = static_cast<size_t>(want);
     options.group_by = GroupBy::kTrajectory;
     options.filter = eligible;
+    // Sampled 1-in-64, matching the intra-trajectory phase.
+    const bool traced =
+        obs::TraceEnabled() && (stats->knn_searches & 63) == 0;
+    const auto knn_start = traced ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
     const auto neighbors = index->KNearest(q, options, &ctx);
+    if (traced) {
+      obs::EmitSpan("index_knn", obs::SpanCategory::kIndex, {}, knn_start,
+                    std::chrono::steady_clock::now());
+    }
     ++stats->knn_searches;
     for (const Neighbor& nb : neighbors) {
       const size_t slot = slot_of.at(nb.entry.traj);

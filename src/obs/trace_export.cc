@@ -1,0 +1,100 @@
+#include "obs/trace_export.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace frt::obs {
+
+namespace {
+
+/// Escapes a string for a JSON string literal. Span names are controlled
+/// ASCII, but feed ids come from user input.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceDump& dump) {
+  std::string json;
+  json.reserve(dump.events.size() * 160 + 1024);
+  json += "{\"otherData\":{";
+  json += StrFormat(
+      "\"dropped_events\":%llu,\"recorded_events\":%zu,"
+      "\"start_unix_us\":%lld},\n",
+      static_cast<unsigned long long>(dump.dropped), dump.events.size(),
+      static_cast<long long>(dump.start_unix_us));
+  json += "\"traceEvents\":[";
+  bool first = true;
+  for (const TraceThreadInfo& thread : dump.threads) {
+    if (thread.name.empty()) continue;
+    if (!first) json += ",";
+    first = false;
+    json += StrFormat(
+        "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"name\":\"%s\"}}",
+        thread.tid, JsonEscape(thread.name).c_str());
+  }
+  for (const TraceEvent& event : dump.events) {
+    if (!first) json += ",";
+    first = false;
+    json += StrFormat(
+        "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+        JsonEscape(event.name).c_str(), SpanCategoryName(event.category),
+        event.tid, static_cast<double>(event.start_ns) / 1000.0,
+        static_cast<double>(event.dur_ns) / 1000.0);
+    if (!event.feed.empty()) {
+      json += StrFormat(",\"args\":{\"feed\":\"%s\"}",
+                        JsonEscape(event.feed).c_str());
+    }
+    json += "}";
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+Status WriteChromeTrace(const TraceDump& dump, const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("trace output path must not be empty");
+  }
+  std::FILE* out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IOError("cannot open trace output " + path + ": " +
+                           std::strerror(errno));
+  }
+  const std::string json = ChromeTraceJson(dump);
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
+      std::fflush(out) == 0;
+  if (out != stdout) std::fclose(out);
+  if (!ok) {
+    return Status::IOError("writing trace output " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace frt::obs

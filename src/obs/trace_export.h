@@ -1,0 +1,30 @@
+// Chrome trace-event JSON exporter for TraceDump.
+//
+// Writes the "JSON Object Format" variant of the trace-event spec: a
+// top-level object with a `traceEvents` array of complete ("ph":"X")
+// duration events plus thread-name metadata events, loadable directly in
+// chrome://tracing or https://ui.perfetto.dev. Drop counters and the
+// recorder's wall-clock start go into `otherData` so truncation is
+// visible in the file itself.
+
+#ifndef FRT_OBS_TRACE_EXPORT_H_
+#define FRT_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/trace.h"
+
+namespace frt::obs {
+
+/// \brief Serializes `dump` as Chrome trace-event JSON into `path`
+/// ("-" writes to stdout). Timestamps are microseconds since the
+/// recorder's Start(), with sub-microsecond fractions preserved.
+Status WriteChromeTrace(const TraceDump& dump, const std::string& path);
+
+/// \brief The serialized JSON (tests and in-process consumers).
+std::string ChromeTraceJson(const TraceDump& dump);
+
+}  // namespace frt::obs
+
+#endif  // FRT_OBS_TRACE_EXPORT_H_

@@ -1,5 +1,10 @@
 #include "runtime/work_stealing_pool.h"
 
+#include <chrono>
+#include <string>
+
+#include "obs/trace.h"
+
 namespace frt {
 
 WorkStealingPool::WorkStealingPool(unsigned num_threads) {
@@ -94,6 +99,11 @@ bool WorkStealingPool::TryAcquire(unsigned id, size_t* index) {
       *index = victim.tasks.front();  // FIFO: steal the oldest, coldest task
       victim.tasks.pop_front();
       steals_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::TraceEnabled()) {
+        // Instant marker: a steal has no meaningful duration, only a time.
+        const auto now = std::chrono::steady_clock::now();
+        obs::EmitSpan("steal", obs::SpanCategory::kPool, {}, now, now);
+      }
       return true;
     }
   }
@@ -101,10 +111,14 @@ bool WorkStealingPool::TryAcquire(unsigned id, size_t* index) {
 }
 
 void WorkStealingPool::WorkerLoop(unsigned id) {
+  obs::SetTraceThreadName("pool-worker-" + std::to_string(id));
   uint64_t seen_epoch = 0;
   for (;;) {
     std::function<void()> async_task;
     const std::function<void(size_t)>* fn = nullptr;
+    const bool tracing = obs::TraceEnabled();
+    const auto idle_start = tracing ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
     {
       std::unique_lock<std::mutex> lock(run_mu_);
       work_cv_.wait(lock, [&] {
@@ -123,8 +137,20 @@ void WorkStealingPool::WorkerLoop(unsigned id) {
         ++active_workers_;
       }
     }
+    if (tracing && obs::TraceEnabled()) {
+      // Only report waits long enough to matter; sub-10us wakeups would
+      // swamp the trace with scheduling noise.
+      const auto idle_end = std::chrono::steady_clock::now();
+      if (idle_end - idle_start >= std::chrono::microseconds(10)) {
+        obs::EmitSpan("pool_idle", obs::SpanCategory::kPool, {}, idle_start,
+                      idle_end);
+      }
+    }
     if (async_task) {
-      async_task();
+      {
+        obs::ScopedSpan task_span("pool_task", obs::SpanCategory::kPool);
+        async_task();
+      }
       if (async_pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(run_mu_);
         done_cv_.notify_all();

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace frt {
 
@@ -248,6 +250,7 @@ Result<std::optional<ServiceCheckpoint>> CheckpointStore::Load() const {
 }
 
 Status CheckpointStore::Write(const ServiceCheckpoint& checkpoint) {
+  obs::ScopedSpan span("checkpoint_write", obs::SpanCategory::kDurability);
   const std::string text = EncodeCheckpoint(checkpoint);
   // Write-to-temp + fsync + rename + directory fsync: the visible snapshot
   // is always a complete old or complete new image, never a torn write.
@@ -272,12 +275,15 @@ Status CheckpointStore::Write(const ServiceCheckpoint& checkpoint) {
   }
   // fdatasync: data plus the size metadata needed to read it back is all
   // the rename depends on; the temp file's other metadata is irrelevant.
+  const auto fsync_start = std::chrono::steady_clock::now();
   if (::fdatasync(fd) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
     ::unlink(tmp_path_.c_str());
     return Status::IOError("fdatasync failed on " + tmp_path_ + ": " + err);
   }
+  obs::EmitSpan("fsync", obs::SpanCategory::kDurability, {}, fsync_start,
+                std::chrono::steady_clock::now());
   if (::close(fd) != 0) {
     ::unlink(tmp_path_.c_str());
     return Status::IOError("close failed on " + tmp_path_ + ": " +

@@ -4,7 +4,9 @@
 #include <limits>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "runtime/batch_runner.h"
 
 namespace frt {
@@ -18,22 +20,6 @@ using SteadyClock = std::chrono::steady_clock;
 /// milliseconds, so a 1 ms poll adds negligible latency and negligible
 /// load to the single consumer thread.
 constexpr std::chrono::milliseconds kCompletionPoll(1);
-
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  const double rank = p * static_cast<double>(samples.size() - 1);
-  const size_t k = static_cast<size_t>(rank + 0.5);
-  std::nth_element(samples.begin(),
-                   samples.begin() + static_cast<ptrdiff_t>(k),
-                   samples.end());
-  return samples[k];
-}
-
-double MaxSample(const std::vector<double>& samples) {
-  return samples.empty()
-             ? 0.0
-             : *std::max_element(samples.begin(), samples.end());
-}
 
 /// Folds one session generation's report into a feed's running totals.
 /// Counters sum; epsilon fields take the newer generation's values (its
@@ -87,6 +73,12 @@ ServiceDispatcher::ServiceDispatcher(ServiceConfig config, ServiceSink sink)
   }
   if (config_.max_backlog_windows == 0) {
     config_.max_backlog_windows = 4 * config_.max_in_flight;
+  }
+  if (config_.max_latency_samples != (size_t{1} << 14)) {
+    FRT_LOG(Warning)
+        << "ServiceConfig::max_latency_samples is deprecated and ignored: "
+           "latency aggregates use fixed-size histograms now (O(1) memory, "
+           "always on)";
   }
 }
 
@@ -300,9 +292,20 @@ void ServiceDispatcher::SubmitReady() {
         completions_.get();
     pool_->Submit([shared_job, completions, batch_config] {
       auto completion = std::make_unique<Completion>();
+      const SteadyClock::time_point started = SteadyClock::now();
+      // close -> pickup is the pool scheduling delay this feed paid.
+      obs::EmitSpan("queue_wait", obs::SpanCategory::kQueue,
+                    shared_job->feed, shared_job->closed_at, started);
       BatchRunner runner(batch_config);
       completion->published =
           runner.Anonymize(shared_job->window, shared_job->rng);
+      const SteadyClock::time_point ended = SteadyClock::now();
+      obs::EmitSpan("anonymize", obs::SpanCategory::kAnonymize,
+                    shared_job->feed, started, ended);
+      completion->started_at = started;
+      completion->run_ms =
+          std::chrono::duration<double, std::milli>(ended - started)
+              .count();
       completion->batch = runner.report();
       completion->job = std::move(*shared_job);
       completion->job.window = Dataset();  // the copy has served its purpose
@@ -325,10 +328,14 @@ void ServiceDispatcher::AbsorbCompletion(
     Abort(completion->published.status());
     return;
   }
+  const SteadyClock::time_point now = SteadyClock::now();
   const double publish_ms =
-      std::chrono::duration<double, std::milli>(SteadyClock::now() -
+      std::chrono::duration<double, std::milli>(now -
                                                 completion->job.closed_at)
           .count();
+  // The whole close -> published interval, attributed to the feed.
+  obs::EmitSpan("publish", obs::SpanCategory::kPublish,
+                completion->job.feed, completion->job.closed_at, now);
   Result<WindowReport> window_report = session.Complete(
       completion->job, *completion->published, completion->batch,
       publish_ms);
@@ -337,19 +344,15 @@ void ServiceDispatcher::AbsorbCompletion(
     return;
   }
   ledger_dirty_ = true;  // Complete() charged the accountants
-  if (config_.max_latency_samples > 0) {
-    auto push = [&](std::vector<double>* samples, size_t* next, double x) {
-      if (samples->size() < config_.max_latency_samples) {
-        samples->push_back(x);
-      } else {
-        (*samples)[*next] = x;
-        *next = (*next + 1) % samples->size();
-      }
-    };
-    push(&close_wait_samples_, &close_wait_next_,
-         completion->job.close_wait_ms);
-    push(&publish_samples_, &publish_next_, publish_ms);
-  }
+  close_wait_hist_.Record(completion->job.close_wait_ms);
+  publish_hist_.Record(publish_ms);
+  queue_wait_hist_.Record(
+      std::chrono::duration<double, std::milli>(completion->started_at -
+                                                completion->job.closed_at)
+          .count());
+  anonymize_hist_.Record(completion->run_ms);
+  slot.close_wait_hist.Record(completion->job.close_wait_ms);
+  slot.publish_hist.Record(publish_ms);
   // The spend is charged; the output waits in pending_ until
   // FlushPublishes has made a checkpoint covering it durable.
   PendingPublish pending;
@@ -382,11 +385,18 @@ void ServiceDispatcher::FlushPublishes() {
   for (PendingPublish& pending : pending_) {
     if (aborted_) break;
     FeedSlot& slot = feeds_.at(pending.feed);
+    const SteadyClock::time_point sink_start = SteadyClock::now();
     if (Status st = sink_(pending.feed, pending.published, pending.report);
         !st.ok()) {
       Abort(st);
       break;
     }
+    const SteadyClock::time_point sink_end = SteadyClock::now();
+    obs::EmitSpan("sink", obs::SpanCategory::kPublish, pending.feed,
+                  sink_start, sink_end);
+    sink_hist_.Record(
+        std::chrono::duration<double, std::milli>(sink_end - sink_start)
+            .count());
     slot.session->RecordPublished(pending.report);
     if (slot.session->evict_when_drained() && slot.session->Drained()) {
       EvictSession(&slot);
@@ -413,11 +423,15 @@ Status ServiceDispatcher::WriteCheckpointNow() {
     feed.per_object_floor = carry.per_object_floor;
     image.feeds.push_back(std::move(feed));
   }
+  const SteadyClock::time_point write_start = SteadyClock::now();
   FRT_RETURN_IF_ERROR(store_->Write(image));
   checkpoint_seq_ = image.sequence;
   ++checkpoints_written_;
   ledger_dirty_ = false;
   last_checkpoint_ = SteadyClock::now();
+  checkpoint_hist_.Record(std::chrono::duration<double, std::milli>(
+                              last_checkpoint_ - write_start)
+                              .count());
   return Status::OK();
 }
 
@@ -499,11 +513,29 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
       s.feeds_detail.push_back(std::move(detail));
     }
   }
-  if (config_.max_latency_samples > 0) {
-    s.close_wait_p50_ms = Percentile(close_wait_samples_, 0.50);
-    s.close_wait_p99_ms = Percentile(close_wait_samples_, 0.99);
-    s.publish_p50_ms = Percentile(publish_samples_, 0.50);
-    s.publish_p99_ms = Percentile(publish_samples_, 0.99);
+  // Histogram reads are O(buckets), not O(n log n) over a sample ring:
+  // the metrics tick no longer re-sorts anything.
+  s.close_wait_p50_ms = close_wait_hist_.Quantile(0.50);
+  s.close_wait_p99_ms = close_wait_hist_.Quantile(0.99);
+  s.publish_p50_ms = publish_hist_.Quantile(0.50);
+  s.publish_p99_ms = publish_hist_.Quantile(0.99);
+  if (config_.metrics->histograms()) {
+    auto stage = [&s](const char* name, const obs::Histogram& h) {
+      MetricsSnapshot::Stage out;
+      out.stage = name;
+      out.count = h.count();
+      out.p50_ms = h.Quantile(0.50);
+      out.p99_ms = h.Quantile(0.99);
+      out.max_ms = h.max_ms();
+      out.mean_ms = h.mean_ms();
+      s.stages.push_back(std::move(out));
+    };
+    stage("close_wait", close_wait_hist_);
+    stage("queue_wait", queue_wait_hist_);
+    stage("anonymize", anonymize_hist_);
+    stage("publish", publish_hist_);
+    stage("sink", sink_hist_);
+    stage("checkpoint", checkpoint_hist_);
   }
   s.checkpoint_seq = checkpoint_seq_;
   s.checkpoints_written = checkpoints_written_;
@@ -529,6 +561,12 @@ void ServiceDispatcher::BuildFinalReport() {
       MergeStreamReport(&feed_report.stream, slot.session->report(),
                         config_.stream.max_window_reports);
     }
+    feed_report.close_wait_p50_ms = slot.close_wait_hist.Quantile(0.50);
+    feed_report.close_wait_p99_ms = slot.close_wait_hist.Quantile(0.99);
+    feed_report.close_wait_max_ms = slot.close_wait_hist.max_ms();
+    feed_report.publish_p50_ms = slot.publish_hist.Quantile(0.50);
+    feed_report.publish_p99_ms = slot.publish_hist.Quantile(0.99);
+    feed_report.publish_max_ms = slot.publish_hist.max_ms();
     report_.windows_closed += feed_report.stream.windows_closed;
     report_.windows_published += feed_report.stream.windows_published;
     report_.windows_refused += feed_report.stream.windows_refused;
@@ -547,15 +585,16 @@ void ServiceDispatcher::BuildFinalReport() {
             });
   report_.checkpoints_written = checkpoints_written_;
   report_.checkpoint_sequence = checkpoint_seq_;
-  report_.close_wait_p50_ms = Percentile(close_wait_samples_, 0.50);
-  report_.close_wait_p99_ms = Percentile(close_wait_samples_, 0.99);
-  report_.close_wait_max_ms = MaxSample(close_wait_samples_);
-  report_.publish_p50_ms = Percentile(publish_samples_, 0.50);
-  report_.publish_p99_ms = Percentile(publish_samples_, 0.99);
-  report_.publish_max_ms = MaxSample(publish_samples_);
+  report_.close_wait_p50_ms = close_wait_hist_.Quantile(0.50);
+  report_.close_wait_p99_ms = close_wait_hist_.Quantile(0.99);
+  report_.close_wait_max_ms = close_wait_hist_.max_ms();
+  report_.publish_p50_ms = publish_hist_.Quantile(0.50);
+  report_.publish_p99_ms = publish_hist_.Quantile(0.99);
+  report_.publish_max_ms = publish_hist_.max_ms();
 }
 
 void ServiceDispatcher::DispatcherLoop() {
+  obs::SetTraceThreadName("dispatcher");
   Stopwatch wall;
   started_at_ = SteadyClock::now();
   last_checkpoint_ = started_at_;

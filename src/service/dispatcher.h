@@ -58,6 +58,7 @@
 
 #include "common/bounded_queue.h"
 #include "common/result.h"
+#include "obs/histogram.h"
 #include "runtime/work_stealing_pool.h"
 #include "service/checkpoint.h"
 #include "service/feed_session.h"
@@ -93,8 +94,10 @@ struct ServiceConfig {
   /// Sessions with no arrival for this long are flushed and evicted
   /// (budget state carries into any successor). 0 disables eviction.
   int64_t idle_evict_ms = 0;
-  /// Close-wait / publish-latency samples retained for the p50/p99
-  /// aggregates (newest kept). 0 keeps none.
+  /// DEPRECATED no-op. Latency aggregates moved from sorted sample rings
+  /// to fixed-size obs::Histogram instances (O(1) memory, always on), so
+  /// this cap no longer bounds anything. Setting it away from the default
+  /// logs one warning; the key is kept so existing configs keep parsing.
   size_t max_latency_samples = 1 << 14;
   /// Durable budget ledgers: when non-empty, per-feed ledger snapshots are
   /// checkpointed into this directory and recovered from it on Start()
@@ -126,6 +129,15 @@ struct FeedReport {
   /// generations; epsilon fields are the latest session's (which already
   /// carry the predecessors' spend).
   StreamReport stream;
+  /// Per-feed latency aggregates across every generation, mirroring the
+  /// service-wide fields (close wait: oldest arrival -> close; publish:
+  /// close -> sink-ready).
+  double close_wait_p50_ms = 0.0;
+  double close_wait_p99_ms = 0.0;
+  double close_wait_max_ms = 0.0;
+  double publish_p50_ms = 0.0;
+  double publish_p99_ms = 0.0;
+  double publish_max_ms = 0.0;
 };
 
 /// Service-wide aggregates over one Run.
@@ -206,6 +218,11 @@ class ServiceDispatcher {
     WindowJob job;
     Result<Dataset> published = Status::Internal("job not executed");
     BatchReport batch;
+    /// When the worker picked the job up (queue wait ends) and how long
+    /// the anonymization ran, stamped by the worker for the dispatcher's
+    /// stage histograms.
+    std::chrono::steady_clock::time_point started_at{};
+    double run_ms = 0.0;
   };
   struct Arrival {
     std::string feed;
@@ -219,6 +236,11 @@ class ServiceDispatcher {
     /// Counters merged out of evicted generations.
     StreamReport merged;
     bool ever_evicted = false;
+    /// Per-feed latency histograms, surviving across generations (the
+    /// fixed obs::Histogram footprint is what makes per-feed aggregates
+    /// affordable where the old sample rings were not).
+    obs::Histogram close_wait_hist;
+    obs::Histogram publish_hist;
   };
   /// A completed window whose spend is charged but whose output has not
   /// yet been handed to the sink — it waits for the write-ahead checkpoint
@@ -284,10 +306,14 @@ class ServiceDispatcher {
   /// closed windows drain, and the run ends cleanly (not an error).
   bool stopping_ = false;
   Status error_ = Status::OK();
-  std::vector<double> close_wait_samples_;
-  std::vector<double> publish_samples_;
-  size_t close_wait_next_ = 0;  ///< ring cursors once the sample cap hits
-  size_t publish_next_ = 0;
+  /// Service-wide per-stage latency histograms (dispatcher thread only).
+  /// Bounded memory, merged per-feed views live in each FeedSlot.
+  obs::Histogram close_wait_hist_;
+  obs::Histogram publish_hist_;
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram anonymize_hist_;
+  obs::Histogram checkpoint_hist_;
+  obs::Histogram sink_hist_;
   // Durability + metrics (dispatcher thread only, except store_ creation
   // and recovery, which Start() runs before the thread spawns).
   std::optional<CheckpointStore> store_;

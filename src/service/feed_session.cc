@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace frt {
 
 FeedSession::FeedSession(std::string feed, const StreamRunnerConfig& config,
@@ -82,6 +84,8 @@ Status FeedSession::CloseWindow(WindowClose reason,
   job.closed_at = now;
   job.close_wait_ms =
       std::chrono::duration<double, std::milli>(now - oldest).count();
+  // The window's assembly phase: oldest uncovered arrival -> close.
+  obs::EmitSpan("assemble", obs::SpanCategory::kWindow, feed_, oldest, now);
   ++report_.windows_closed;
   if (reason == WindowClose::kDeadline) ++report_.windows_deadline_closed;
   backlog_.push_back(std::move(job));

@@ -140,6 +140,16 @@ bool MetricsExporter::Emit(const MetricsSnapshot& s) {
           feed.windows_refused);
     }
   }
+  if (options_.histograms) {
+    for (const MetricsSnapshot::Stage& stage : s.stages) {
+      line += StrFormat(
+          "frt_stage ts_ms=%lld stage=%s count=%llu p50_ms=%.3f "
+          "p99_ms=%.3f max_ms=%.3f mean_ms=%.3f\n",
+          static_cast<long long>(ts), stage.stage.c_str(),
+          static_cast<unsigned long long>(stage.count), stage.p50_ms,
+          stage.p99_ms, stage.max_ms, stage.mean_ms);
+    }
+  }
   if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
       std::fflush(out_) != 0) {
     std::fprintf(stderr,

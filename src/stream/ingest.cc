@@ -4,6 +4,7 @@
 #include <istream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "traj/io.h"
 
 namespace frt {
@@ -66,6 +67,8 @@ Status TrajectoryReader::ConsumeLine(std::string_view line,
 Result<std::optional<Trajectory>> TrajectoryReader::Next() {
   if (!error_.ok()) return error_;
   if (done_) return std::optional<Trajectory>();
+  // Covers both the read wait and the parse work per trajectory.
+  obs::ScopedSpan span("ingest_parse", obs::SpanCategory::kIngest);
   for (;;) {
     // Drain complete lines already buffered.
     size_t newline = buffer_.find('\n', scan_);

@@ -1,5 +1,6 @@
 #include "stream/stream_runner.h"
 
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <unordered_set>
@@ -8,6 +9,7 @@
 #include "common/bounded_queue.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace frt {
 
@@ -133,7 +135,10 @@ Status StreamRunner::ProcessWindow(Dataset&& window, WindowClose reason,
   BatchRunnerConfig batch_config = config_.batch;
   batch_config.pool = pool;
   BatchRunner runner(batch_config);
+  const auto anonymize_start = std::chrono::steady_clock::now();
   FRT_ASSIGN_OR_RETURN(Dataset published, runner.Anonymize(window, window_rng));
+  obs::EmitSpan("anonymize", obs::SpanCategory::kAnonymize, {},
+                anonymize_start, std::chrono::steady_clock::now());
 
   WindowReport window_report;
   window_report.index = index;
@@ -177,7 +182,10 @@ Status StreamRunner::ProcessWindow(Dataset&& window, WindowClose reason,
   report_.epsilon_wholesale_equivalent = accountant_.spent();
   // The budget above is spent either way, but the window only counts as
   // published once the sink accepted it.
+  const auto sink_start = std::chrono::steady_clock::now();
   FRT_RETURN_IF_ERROR(sink(published, window_report));
+  obs::EmitSpan("sink", obs::SpanCategory::kPublish, {}, sink_start,
+                std::chrono::steady_clock::now());
   ++report_.windows_published;
   report_.trajectories_published += published.size();
   report_.windows.push_back(std::move(window_report));
@@ -229,6 +237,7 @@ Status StreamRunner::Run(TrajectoryReader& reader, const WindowSink& sink,
   // Written by the producer only; read by this thread after join().
   Status ingest_status = Status::OK();
   std::thread producer([&] {
+    obs::SetTraceThreadName("ingest");
     for (;;) {
       auto next = reader.Next();
       if (!next.ok()) {

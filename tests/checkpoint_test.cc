@@ -412,6 +412,61 @@ TEST(MetricsExporterTest, EmitsMachineReadableLines) {
   EXPECT_NE(log.find("eps_remaining=7.2"), std::string::npos);
 }
 
+TEST(MetricsExporterTest, EmitsStageHistogramLinesWhenEnabled) {
+  const std::string path = MakeStateDir() + "/metrics.log";
+  MetricsExporter::Options options;
+  options.path = path;
+  options.interval_ms = 10;
+  options.histograms = true;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_TRUE(exporter.histograms());
+
+  MetricsSnapshot snapshot;
+  snapshot.seq = 1;
+  MetricsSnapshot::Stage stage;
+  stage.stage = "anonymize";
+  stage.count = 42;
+  stage.p50_ms = 1.25;
+  stage.p99_ms = 9.5;
+  stage.max_ms = 12.0;
+  stage.mean_ms = 2.0;
+  snapshot.stages.push_back(stage);
+  exporter.Publish(snapshot);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  exporter.Stop();
+
+  const std::string log = ReadFile(path);
+  EXPECT_NE(log.find("frt_stage "), std::string::npos);
+  EXPECT_NE(log.find("stage=anonymize"), std::string::npos);
+  EXPECT_NE(log.find("count=42"), std::string::npos);
+  EXPECT_NE(log.find("p50_ms=1.250"), std::string::npos);
+  EXPECT_NE(log.find("p99_ms=9.500"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, StageLinesAbsentByDefault) {
+  const std::string path = MakeStateDir() + "/metrics.log";
+  MetricsExporter::Options options;
+  options.path = path;
+  options.interval_ms = 10;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_FALSE(exporter.histograms());
+
+  MetricsSnapshot snapshot;
+  snapshot.seq = 1;
+  MetricsSnapshot::Stage stage;
+  stage.stage = "anonymize";
+  stage.count = 1;
+  snapshot.stages.push_back(stage);
+  exporter.Publish(snapshot);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  exporter.Stop();
+  EXPECT_EQ(ReadFile(path).find("frt_stage "), std::string::npos);
+}
+
 TEST(MetricsExporterTest, StopIsIdempotentAndStderrPathWorks) {
   MetricsExporter::Options options;
   options.path = "-";

@@ -134,6 +134,42 @@ TEST(CliFlagsTest, DurabilityFlagsParseAndValidate) {
             FlagParse::kNotMine);
 }
 
+TEST(CliFlagsTest, ObservabilityFlagsParseAndValidate) {
+  ObservabilityArgs args;
+  EXPECT_EQ(ParseOne(ParseObservabilityFlag, "--trace-out", "t.json", &args),
+            FlagParse::kConsumed);
+  EXPECT_EQ(args.trace_out, "t.json");
+  EXPECT_EQ(
+      ParseOne(ParseObservabilityFlag, "--trace-buffer-events", "0", &args),
+      FlagParse::kError);  // capacity must be >= 1
+  EXPECT_EQ(
+      ParseOne(ParseObservabilityFlag, "--trace-buffer-events", "4k", &args),
+      FlagParse::kError);
+  EXPECT_EQ(args.trace_buffer_events, uint64_t{1} << 16);  // default kept
+  EXPECT_EQ(
+      ParseOne(ParseObservabilityFlag, "--trace-buffer-events", "4096", &args),
+      FlagParse::kConsumed);
+  EXPECT_EQ(args.trace_buffer_events, 4096u);
+  // --metrics-histograms is a bare flag: no value consumed.
+  {
+    std::string f = "--metrics-histograms";
+    char* argv[] = {f.data()};
+    int i = 0;
+    EXPECT_EQ(ParseObservabilityFlag(1, argv, &i, &args),
+              FlagParse::kConsumed);
+    EXPECT_EQ(i, 0);
+    EXPECT_TRUE(args.metrics_histograms);
+  }
+  DurabilityArgs durability;
+  MetricsExporter::Options options = MakeMetricsOptions(durability, args);
+  EXPECT_TRUE(options.histograms);
+  // Histogram lines stay off unless the flag was given.
+  EXPECT_FALSE(MakeMetricsOptions(durability).histograms);
+  // Flags from other families fall through untouched.
+  EXPECT_EQ(ParseOne(ParseObservabilityFlag, "--metrics", "-", &args),
+            FlagParse::kNotMine);
+}
+
 TEST(CliFlagsTest, MissingValueIsAnError) {
   StreamArgs args;
   std::string f = "--budget";

@@ -19,10 +19,11 @@
 #include "index/search_context.h"
 #include "index/segment_index.h"
 
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define FRT_ALLOC_COUNTING_DISABLED 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer) || \
+    __has_feature(thread_sanitizer)
 #define FRT_ALLOC_COUNTING_DISABLED 1
 #endif
 #endif

@@ -1,0 +1,213 @@
+// obs::Histogram: quantile error bounds against exact sorted samples
+// across several distributions, merge algebra, and the memory/clamping
+// contract.
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace frt::obs {
+namespace {
+
+/// Exact percentile with the dispatcher's historical convention:
+/// rank = q*(n-1) rounded to nearest, value = that order statistic.
+double ExactPercentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const size_t k = static_cast<size_t>(rank + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<ptrdiff_t>(k),
+                   samples.end());
+  return samples[k];
+}
+
+/// Relative error with an absolute floor: at sub-2-microsecond scale the
+/// 1 us recording resolution dominates and relative error is meaningless.
+void ExpectQuantileClose(const Histogram& h,
+                         const std::vector<double>& samples, double q) {
+  const double exact = ExactPercentile(samples, q);
+  const double approx = h.Quantile(q);
+  const double tolerance = std::max(0.05 * std::abs(exact), 2e-3);
+  EXPECT_NEAR(approx, exact, tolerance)
+      << "q=" << q << " exact=" << exact << " approx=" << approx;
+}
+
+class DistributionTest : public ::testing::TestWithParam<const char*> {};
+
+std::vector<double> MakeSamples(const std::string& kind, size_t n,
+                                uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  if (kind == "uniform") {
+    std::uniform_real_distribution<double> d(0.01, 250.0);
+    for (size_t i = 0; i < n; ++i) samples.push_back(d(rng));
+  } else if (kind == "exponential") {
+    std::exponential_distribution<double> d(1.0 / 20.0);
+    for (size_t i = 0; i < n; ++i) samples.push_back(d(rng));
+  } else if (kind == "lognormal") {
+    std::lognormal_distribution<double> d(1.5, 1.2);
+    for (size_t i = 0; i < n; ++i) samples.push_back(d(rng));
+  } else {  // bimodal: fast path ~2 ms, slow tail ~150 ms
+    std::normal_distribution<double> fast(2.0, 0.3);
+    std::normal_distribution<double> slow(150.0, 25.0);
+    std::bernoulli_distribution pick(0.9);
+    for (size_t i = 0; i < n; ++i) {
+      samples.push_back(std::abs(pick(rng) ? fast(rng) : slow(rng)));
+    }
+  }
+  return samples;
+}
+
+TEST_P(DistributionTest, QuantilesWithinFivePercentOfExact) {
+  for (const uint32_t seed : {1u, 7u, 42u}) {
+    const std::vector<double> samples = MakeSamples(GetParam(), 20000, seed);
+    Histogram h;
+    for (const double s : samples) h.Record(s);
+    ASSERT_EQ(h.count(), samples.size());
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      ExpectQuantileClose(h, samples, q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, DistributionTest,
+                         ::testing::Values("uniform", "exponential",
+                                           "lognormal", "bimodal"));
+
+TEST(HistogramTest, EmptyHistogramReadsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.min_ms(), 0.0);
+  EXPECT_EQ(h.max_ms(), 0.0);
+  EXPECT_EQ(h.mean_ms(), 0.0);
+}
+
+TEST(HistogramTest, ExactStatsTrackedExactly) {
+  Histogram h;
+  h.Record(1.5);
+  h.Record(0.25);
+  h.Record(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 101.75);
+  EXPECT_NEAR(h.mean_ms(), 101.75 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, SingleValueQuantilesClampToExactExtremes) {
+  Histogram h;
+  h.Record(37.123);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 37.123);
+  }
+}
+
+TEST(HistogramTest, NegativeAndZeroClampToZeroBucket) {
+  Histogram h;
+  h.Record(-5.0);
+  h.Record(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, RecordNCountsAllOccurrences) {
+  Histogram h;
+  h.RecordN(10.0, 99);
+  h.RecordN(1000.0, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.Quantile(0.5), 10.0, 0.5);
+  EXPECT_NEAR(h.Quantile(1.0), 1000.0, 50.0);
+}
+
+TEST(HistogramTest, MergeIsCommutative) {
+  std::mt19937 rng(3);
+  std::exponential_distribution<double> d(0.1);
+  Histogram a, b;
+  std::vector<double> all;
+  for (int i = 0; i < 5000; ++i) {
+    const double va = d(rng), vb = d(rng);
+    a.Record(va);
+    b.Record(vb);
+    all.push_back(va);
+    all.push_back(vb);
+  }
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_DOUBLE_EQ(ab.min_ms(), ba.min_ms());
+  EXPECT_DOUBLE_EQ(ab.max_ms(), ba.max_ms());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(ab.Quantile(q), ba.Quantile(q)) << "q=" << q;
+    ExpectQuantileClose(ab, all, q);
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociative) {
+  std::mt19937 rng(11);
+  std::lognormal_distribution<double> d(0.5, 1.0);
+  Histogram a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    a.Record(d(rng));
+    b.Record(d(rng));
+    c.Record(d(rng));
+  }
+  Histogram left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Histogram bc = b;     // a + (b + c)
+  bc.Merge(c);
+  Histogram right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.sum_ms(), right.sum_ms());
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.Quantile(q), right.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.Record(5.0);
+  a.Record(9.0);
+  Histogram merged = a;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), a.count());
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.5), a.Quantile(0.5));
+  Histogram other = empty;
+  other.Merge(a);
+  EXPECT_EQ(other.count(), a.count());
+  EXPECT_DOUBLE_EQ(other.min_ms(), a.min_ms());
+}
+
+TEST(HistogramTest, HugeValuesClampIntoLastBucketExactMaxSurvives) {
+  Histogram h;
+  const double huge = 1e18;  // beyond the 2^62-tick table range
+  h.Record(huge);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max_ms(), huge);
+  // The quantile clamps into [min, max] even though the bucket midpoint
+  // saturated.
+  EXPECT_LE(h.Quantile(1.0), huge);
+  EXPECT_GE(h.Quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, MemoryIsBoundedRegardlessOfSampleCount) {
+  // O(1) memory claim: the counts table never grows with samples.
+  EXPECT_LE(Histogram::kNumBuckets * sizeof(uint64_t), 16u * 1024u);
+  Histogram h;
+  for (int i = 0; i < 200000; ++i) h.Record(static_cast<double>(i % 977));
+  EXPECT_EQ(h.count(), 200000u);
+}
+
+}  // namespace
+}  // namespace frt::obs

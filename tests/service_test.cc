@@ -82,6 +82,16 @@ TEST(ServiceTest, MultiplexedFeedsPublishEveryWindowPerFeedInOrder) {
     EXPECT_EQ(feed.sessions, 1u);
     EXPECT_EQ(feed.stream.windows_published, 3u);
     EXPECT_EQ(feed.stream.trajectories_published, 60u);
+    // Per-feed latency detail mirrors the service-wide fields: ordered
+    // quantiles, and no feed's max can exceed the service-wide max.
+    EXPECT_GT(feed.close_wait_max_ms, 0.0);
+    EXPECT_GT(feed.publish_max_ms, 0.0);
+    EXPECT_LE(feed.close_wait_p50_ms, feed.close_wait_p99_ms);
+    EXPECT_LE(feed.close_wait_p99_ms, feed.close_wait_max_ms + 1e-9);
+    EXPECT_LE(feed.publish_p50_ms, feed.publish_p99_ms);
+    EXPECT_LE(feed.publish_p99_ms, feed.publish_max_ms + 1e-9);
+    EXPECT_LE(feed.close_wait_max_ms, report.close_wait_max_ms + 1e-9);
+    EXPECT_LE(feed.publish_max_ms, report.publish_max_ms + 1e-9);
   }
   for (const auto& feed : feed_names) {
     const ServiceCapture::Feed& captured = capture.feeds.at(feed);

@@ -94,6 +94,26 @@ def derive_checkpoint_overhead(benchmarks):
     return None
 
 
+def derive_trace_overhead(benchmarks):
+    """Surfaces the serve study's paired span-tracing overhead measurement.
+
+    BM_ServeTraceOverhead runs the same workload with the trace recorder
+    disarmed and armed inside every iteration. Returns
+    {"throughput_ratio": armed/disarmed, "source": name} or None when the
+    report has no such entry. The acceptance claim is ratio >= 0.97
+    (recording spans costs at most ~3%); compiled-in-but-DISABLED tracing
+    is covered separately by speedup_vs_baseline on the disarmed half.
+    """
+    for name, entry in benchmarks.items():
+        if "ServeTraceOverhead" in name and "trace_throughput_ratio" in entry:
+            return {
+                "throughput_ratio": round(
+                    entry["trace_throughput_ratio"], 3),
+                "source": name,
+            }
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     source = parser.add_mutually_exclusive_group(required=True)
@@ -130,6 +150,10 @@ def main():
     checkpoint = derive_checkpoint_overhead(report["benchmarks"])
     if checkpoint is not None:
         report["checkpoint_overhead"] = checkpoint
+
+    trace = derive_trace_overhead(report["benchmarks"])
+    if trace is not None:
+        report["trace_overhead"] = trace
 
     if args.baseline:
         with open(args.baseline) as f:

@@ -436,17 +436,6 @@ inline FlagParse ParseDurabilityFlag(int argc, char** argv, int* i,
   return FlagParse::kConsumed;
 }
 
-/// Exporter options from the parsed flags (only meaningful when
-/// args.metrics is non-empty).
-inline MetricsExporter::Options MakeMetricsOptions(
-    const DurabilityArgs& args) {
-  MetricsExporter::Options options;
-  options.path = args.metrics;
-  options.interval_ms = args.metrics_interval_ms;
-  options.per_feed = args.metrics_per_feed;
-  return options;
-}
-
 /// Usage text of the durability/metrics flags.
 inline const char* DurabilityUsageText() {
   return
@@ -469,6 +458,82 @@ inline const char* DurabilityUsageText() {
       "                       metrics emission interval (default 1000)\n"
       "  --metrics-per-feed   also emit one frt_feed line per feed per "
       "interval\n";
+}
+
+// ---- Observability flags (frt_serve, frt_stream) ----
+
+/// Raw values of the shared observability flags.
+struct ObservabilityArgs {
+  /// Span trace output: a Chrome trace-event JSON path, or "-" for stdout;
+  /// empty = tracing off.
+  std::string trace_out;
+  /// Per-thread trace ring capacity in events; on overflow the oldest
+  /// events are overwritten and counted as dropped.
+  uint64_t trace_buffer_events = uint64_t{1} << 16;
+  /// Emit per-stage frt_stage histogram lines with --metrics.
+  bool metrics_histograms = false;
+};
+
+/// \brief Tries to consume argv[*i] as one of the observability flags.
+inline FlagParse ParseObservabilityFlag(int argc, char** argv, int* i,
+                                        ObservabilityArgs* args) {
+  const char* flag = argv[*i];
+  auto next = [&]() -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  const char* v = nullptr;
+  if (std::strcmp(flag, "--trace-out") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->trace_out = v;
+  } else if (std::strcmp(flag, "--trace-buffer-events") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    uint64_t n = 0;
+    if (!ParseFlagUint64(flag, v, &n)) return FlagParse::kError;
+    if (n < 1) {
+      std::fprintf(stderr, "--trace-buffer-events must be >= 1\n");
+      return FlagParse::kError;
+    }
+    args->trace_buffer_events = n;
+  } else if (std::strcmp(flag, "--metrics-histograms") == 0) {
+    args->metrics_histograms = true;
+  } else {
+    return FlagParse::kNotMine;
+  }
+  return FlagParse::kConsumed;
+}
+
+/// Exporter options from the parsed flags (only meaningful when
+/// args.metrics is non-empty).
+inline MetricsExporter::Options MakeMetricsOptions(
+    const DurabilityArgs& args, const ObservabilityArgs& obs_args = {}) {
+  MetricsExporter::Options options;
+  options.path = args.metrics;
+  options.interval_ms = args.metrics_interval_ms;
+  options.per_feed = args.metrics_per_feed;
+  options.histograms = obs_args.metrics_histograms;
+  return options;
+}
+
+/// Usage text of the observability flags.
+inline const char* ObservabilityUsageText() {
+  return
+      "  --trace-out PATH     record spans for the whole run and write one "
+      "Chrome\n"
+      "                       trace-event JSON file on exit (load in\n"
+      "                       chrome://tracing or Perfetto); - for stdout\n"
+      "                       (default: off)\n"
+      "  --trace-buffer-events N\n"
+      "                       per-thread trace ring capacity; overflow "
+      "overwrites\n"
+      "                       the oldest events and reports them as dropped\n"
+      "                       (default 65536)\n"
+      "  --metrics-histograms with --metrics: also emit one frt_stage "
+      "latency\n"
+      "                       histogram line per stage per interval\n";
 }
 
 }  // namespace frt::cli

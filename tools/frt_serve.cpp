@@ -22,6 +22,8 @@
 //       [--evict-idle-ms 0] [--pool-threads 0] [--max-in-flight 0]
 //       [durability flags: --state-dir --checkpoint-interval-ms
 //        --metrics --metrics-interval-ms --metrics-per-feed]
+//       [observability flags: --trace-out --trace-buffer-events
+//        --metrics-histograms]
 //       [stream flags: --window --stride --budget --per-object-budget
 //        --evict-exhausted --queue --close-after-ms ...]
 //       [pipeline flags: --epsilon-global --epsilon-local --m --strategy
@@ -59,6 +61,8 @@
 
 #include "cli_common.h"
 #include "frt.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "service/dispatcher.h"
 #include "stream/ingest.h"
 #include "traj/io.h"
@@ -76,6 +80,7 @@ struct Args {
   frt::cli::StreamArgs stream;
   frt::cli::PipelineArgs pipeline;
   frt::cli::DurabilityArgs durability;
+  frt::cli::ObservabilityArgs obs;
 };
 
 void Usage(const char* prog) {
@@ -96,9 +101,9 @@ void Usage(const char* prog) {
       "max(2, cores))\n"
       "  --max-in-flight N    concurrent window jobs across feeds "
       "(default 0 = 2x pool)\n"
-      "%s%s%s",
-      prog, frt::cli::DurabilityUsageText(), frt::cli::StreamUsageText(),
-      frt::cli::PipelineUsageText());
+      "%s%s%s%s",
+      prog, frt::cli::DurabilityUsageText(), frt::cli::ObservabilityUsageText(),
+      frt::cli::StreamUsageText(), frt::cli::PipelineUsageText());
 }
 
 std::string FeedNameFromPath(const std::string& path) {
@@ -129,6 +134,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
     switch (
         frt::cli::ParseDurabilityFlag(argc, argv, &i, &args->durability)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
+    switch (frt::cli::ParseObservabilityFlag(argc, argv, &i, &args->obs)) {
       case frt::cli::FlagParse::kConsumed:
         continue;
       case frt::cli::FlagParse::kError:
@@ -304,12 +317,22 @@ int main(int argc, char** argv) {
   config.state_dir = args.durability.state_dir;
   config.checkpoint_interval_ms = args.durability.checkpoint_interval_ms;
 
+  // Arm span tracing before any ingest/service thread starts so the trace
+  // covers the whole run.
+  if (!args.obs.trace_out.empty()) {
+    frt::obs::TraceRecorder::Options trace_options;
+    trace_options.buffer_events =
+        static_cast<size_t>(args.obs.trace_buffer_events);
+    frt::obs::TraceRecorder::Get().Start(trace_options);
+    frt::obs::SetTraceThreadName("main");
+  }
+
   // The exporter outlives the service (the dispatcher thread publishes
   // into it until Finish), so it is declared first and stopped last.
   std::unique_ptr<frt::MetricsExporter> metrics;
   if (!args.durability.metrics.empty()) {
     metrics = std::make_unique<frt::MetricsExporter>(
-        frt::cli::MakeMetricsOptions(args.durability));
+        frt::cli::MakeMetricsOptions(args.durability, args.obs));
     if (auto st = metrics->Start(); !st.ok()) {
       std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
       return 1;
@@ -437,6 +460,22 @@ int main(int argc, char** argv) {
 
   frt::Status run_status = service.Finish();
   if (metrics) metrics->Stop();  // flush the final frt_metrics line
+  if (!args.obs.trace_out.empty()) {
+    // Everything is quiesced (Finish joined the pool and dispatcher), so
+    // the dump is complete.
+    const frt::obs::TraceDump dump = frt::obs::TraceRecorder::Get().Stop();
+    if (auto st = frt::obs::WriteChromeTrace(dump, args.obs.trace_out);
+        !st.ok()) {
+      if (run_status.ok()) run_status = st;
+    } else {
+      std::fprintf(stderr,
+                   "trace: wrote %zu span(s) from %zu thread(s) to %s "
+                   "(%llu dropped)\n",
+                   dump.events.size(), dump.threads.size(),
+                   args.obs.trace_out.c_str(),
+                   static_cast<unsigned long long>(dump.dropped));
+    }
+  }
   if (run_status.ok()) run_status = ingest_status;
   if (!run_status.ok()) {
     std::fprintf(stderr, "serve: %s\n", run_status.ToString().c_str());
@@ -452,13 +491,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "feed %s: %zu windows published (%zu trajs), %zu refused "
                  "(%zu trajs), %zu evicted, %zu deadline-closed, eps %s "
-                 "%.2f, %llu session(s)%s\n",
+                 "%.2f, %llu session(s), close-wait p50/p99/max "
+                 "%.1f/%.1f/%.1f ms, publish p50/p99/max %.1f/%.1f/%.1f "
+                 "ms%s\n",
                  feed.feed.c_str(), s.windows_published,
                  s.trajectories_published, s.windows_refused,
                  s.trajectories_refused, s.trajectories_evicted,
                  s.windows_deadline_closed,
                  per_object ? "max-object" : "ledger", s.epsilon_spent,
                  static_cast<unsigned long long>(feed.sessions),
+                 feed.close_wait_p50_ms, feed.close_wait_p99_ms,
+                 feed.close_wait_max_ms, feed.publish_p50_ms,
+                 feed.publish_p99_ms, feed.publish_max_ms,
                  feed.evicted ? " [idle-evicted]" : "");
   }
   std::fprintf(
@@ -466,14 +510,15 @@ int main(int argc, char** argv) {
       "serve done in %.1fs: %zu feeds, %zu sessions (peak %zu active, %zu "
       "evicted), %zu windows published / %zu refused (%zu "
       "deadline-closed), %zu trajs in / %zu published, close-wait "
-      "p50/p99/max %.1f/%.1f/%.1f ms, publish p50/p99 %.1f/%.1f ms\n",
+      "p50/p99/max %.1f/%.1f/%.1f ms, publish p50/p99/max %.1f/%.1f/%.1f "
+      "ms\n",
       report.wall_seconds, report.feeds, report.sessions_created,
       report.peak_active_sessions, report.sessions_evicted,
       report.windows_published, report.windows_refused,
       report.windows_deadline_closed, report.trajectories_in,
       report.trajectories_published, report.close_wait_p50_ms,
       report.close_wait_p99_ms, report.close_wait_max_ms,
-      report.publish_p50_ms, report.publish_p99_ms);
+      report.publish_p50_ms, report.publish_p99_ms, report.publish_max_ms);
   if (!args.durability.state_dir.empty()) {
     std::fprintf(
         stderr,

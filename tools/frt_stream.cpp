@@ -25,6 +25,7 @@
 //       [--seed 42] [--shards 1] [--threads 0] [--queue 0]
 //       [--dispatch steal|static] [--stop-on-exhausted]
 //       [--close-after-ms 0] [--state-dir DIR] [--metrics PATH]
+//       [--trace-out PATH] [--trace-buffer-events N] [--metrics-histograms]
 //
 // With --state-dir the budget ledger is checkpointed durably before every
 // published window leaves the process and recovered on the next start
@@ -53,6 +54,8 @@
 
 #include "cli_common.h"
 #include "frt.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "service/checkpoint.h"
 #include "service/metrics_exporter.h"
 #include "stream/ingest.h"
@@ -66,14 +69,16 @@ struct Args {
   frt::cli::StreamArgs stream;
   frt::cli::PipelineArgs pipeline;
   frt::cli::DurabilityArgs durability;
+  frt::cli::ObservabilityArgs obs;
 };
 
 void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --input FILE|- --output FILE|- [options]\n"
                "  --input -            read the feed from stdin\n"
-               "%s%s%s",
+               "%s%s%s%s",
                prog, frt::cli::DurabilityUsageText(),
+               frt::cli::ObservabilityUsageText(),
                frt::cli::StreamUsageText(), frt::cli::PipelineUsageText());
 }
 
@@ -97,6 +102,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
     switch (
         frt::cli::ParseDurabilityFlag(argc, argv, &i, &args->durability)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
+    switch (frt::cli::ParseObservabilityFlag(argc, argv, &i, &args->obs)) {
       case frt::cli::FlagParse::kConsumed:
         continue;
       case frt::cli::FlagParse::kError:
@@ -218,11 +231,20 @@ int main(int argc, char** argv) {
   std::unique_ptr<frt::MetricsExporter> metrics;
   if (!args.durability.metrics.empty()) {
     metrics = std::make_unique<frt::MetricsExporter>(
-        frt::cli::MakeMetricsOptions(args.durability));
+        frt::cli::MakeMetricsOptions(args.durability, args.obs));
     if (auto st = metrics->Start(); !st.ok()) {
       std::fprintf(stderr, "stream: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+
+  // Arm span tracing before the runner spawns its ingest/pool threads.
+  if (!args.obs.trace_out.empty()) {
+    frt::obs::TraceRecorder::Options trace_options;
+    trace_options.buffer_events =
+        static_cast<size_t>(args.obs.trace_buffer_events);
+    frt::obs::TraceRecorder::Get().Start(trace_options);
+    frt::obs::SetTraceThreadName("stream-runner");
   }
 
   frt::TrajectoryReader reader(in);
@@ -333,6 +355,21 @@ int main(int argc, char** argv) {
     }
   }
   if (metrics) metrics->Stop();
+  if (!args.obs.trace_out.empty()) {
+    // Run() joined its producer and pool threads, so the dump is complete.
+    const frt::obs::TraceDump dump = frt::obs::TraceRecorder::Get().Stop();
+    if (auto st = frt::obs::WriteChromeTrace(dump, args.obs.trace_out);
+        !st.ok()) {
+      if (run_status.ok()) run_status = st;
+    } else {
+      std::fprintf(stderr,
+                   "trace: wrote %zu span(s) from %zu thread(s) to %s "
+                   "(%llu dropped)\n",
+                   dump.events.size(), dump.threads.size(),
+                   args.obs.trace_out.c_str(),
+                   static_cast<unsigned long long>(dump.dropped));
+    }
+  }
   if (!run_status.ok()) {
     std::fprintf(stderr, "stream: %s\n", run_status.ToString().c_str());
     return 1;

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Summarize and validate a Chrome trace-event JSON file from --trace-out.
+
+Reads the object-format trace written by frt_serve / frt_stream, checks its
+shape (every event needs name/ph/pid/tid/ts; "X" events need dur), and
+prints a per-span-name breakdown plus drop counters. Intended both for
+eyeballing a run and as a CI gate:
+
+  trace_summary.py trace.json
+  trace_summary.py trace.json --require assemble,anonymize,publish
+  trace_summary.py trace.json --min-count anonymize=14 --min-count publish=14
+
+Exit codes: 0 = valid (and all --require/--min-count satisfied);
+1 = validation or requirement failure; 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"trace_summary: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate and summarize a --trace-out JSON file.")
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require", default="",
+        help="comma-separated span names that must appear at least once")
+    parser.add_argument(
+        "--min-count", action="append", default=[], metavar="NAME=N",
+        help="require at least N complete spans named NAME (repeatable)")
+    parser.add_argument(
+        "--max-dropped", type=int, default=-1, metavar="N",
+        help="fail if more than N events were dropped (default: no limit)")
+    args = parser.parse_args()
+
+    min_counts = {}
+    for spec in args.min_count:
+        name, eq, count = spec.partition("=")
+        if not eq or not name:
+            parser.error(f"--min-count expects NAME=N, got '{spec}'")
+        try:
+            min_counts[name] = int(count)
+        except ValueError:
+            parser.error(f"--min-count expects an integer count in '{spec}'")
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        return fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return fail("expected the object format with a traceEvents array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return fail("traceEvents is not an array")
+
+    # Per-name aggregation over complete ("X") events; durations are in us.
+    stats = defaultdict(lambda: {"count": 0, "total": 0.0, "max": 0.0})
+    threads = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                return fail(f"traceEvents[{i}] is missing '{key}'")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                threads[ev["tid"]] = ev.get("args", {}).get("name", "")
+            continue
+        if ph != "X":
+            return fail(f"traceEvents[{i}] has unexpected ph '{ph}'")
+        for key in ("ts", "dur"):
+            if not isinstance(ev.get(key), (int, float)):
+                return fail(f"traceEvents[{i}] needs a numeric '{key}'")
+        s = stats[ev["name"]]
+        s["count"] += 1
+        s["total"] += ev["dur"]
+        s["max"] = max(s["max"], ev["dur"])
+
+    other = trace.get("otherData", {})
+    dropped = int(other.get("dropped_events", 0))
+
+    print(f"{args.trace}: {sum(s['count'] for s in stats.values())} "
+          f"span(s), {len(stats)} name(s), {len(threads)} named thread(s), "
+          f"{dropped} dropped")
+    for name in sorted(stats, key=lambda n: -stats[n]["total"]):
+        s = stats[name]
+        mean = s["total"] / s["count"]
+        print(f"  {name:<18} count={s['count']:<7} total={s['total']/1e3:10.3f} ms "
+              f"mean={mean/1e3:9.3f} ms max={s['max']/1e3:9.3f} ms")
+    for tid in sorted(threads):
+        print(f"  thread {tid}: {threads[tid]}")
+
+    status = 0
+    for name in filter(None, args.require.split(",")):
+        if stats[name]["count"] == 0:
+            status = fail(f"required span '{name}' never appeared")
+    for name, want in min_counts.items():
+        got = stats[name]["count"]
+        if got < want:
+            status = fail(f"span '{name}': {got} occurrence(s), need >= {want}")
+    if args.max_dropped >= 0 and dropped > args.max_dropped:
+        status = fail(f"{dropped} dropped event(s), limit {args.max_dropped}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
