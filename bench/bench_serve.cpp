@@ -36,6 +36,19 @@
 //                             disarmed half doubles as the compiled-in-
 //                             but-disabled neutrality figure against the
 //                             committed baseline (claim: ratio >= 0.97).
+//   DispatcherWakeup/N        N in {16,256,2048} dormant feeds each hold
+//                             an armed (never-due) close deadline while
+//                             one hot feed drives 40 windows through the
+//                             dispatcher loop. With the min-deadline heap
+//                             the timed hot phase must stay flat in N
+//                             (the old per-wakeup deadline rescan was
+//                             O(feeds)).
+//   EdgeAggregator/E          E in {2,4,8} scripted edges stream
+//                             pre-encoded frames (hello + 200 trajectory
+//                             frames + bye each) over a Unix-socket
+//                             loopback into one IngressServer feeding a
+//                             live dispatcher: end-to-end framed ingest
+//                             throughput scaling with edge count.
 //
 // The container may be single-core: throughput numbers are modest there,
 // but the isolation and deadline claims are scheduling-independent.
@@ -46,13 +59,18 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/frame.h"
+#include "net/ingress.h"
+#include "net/socket.h"
 #include "obs/trace.h"
 #include "service/dispatcher.h"
 #include "stream/ingest.h"
@@ -488,6 +506,174 @@ void BM_ServeTraceOverhead(benchmark::State& state) {
       static_cast<double>(dropped), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_ServeTraceOverhead)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DispatcherWakeup(benchmark::State& state) {
+  // Deadline handling must not scale with feed count: N dormant feeds sit
+  // with one partial window each and an armed (far-future) close
+  // deadline, while one hot feed drives 40 count-closed windows. The old
+  // dispatcher rescanned every session's deadline on each loop wakeup
+  // (O(feeds) per arrival); the min-deadline heap makes the timed hot
+  // phase independent of N — real_time should stay flat from 16 to 2048
+  // dormant feeds.
+  const int dormant_feeds = static_cast<int>(state.range(0));
+  const int hot_windows = 40;
+  frt::ServiceConfig config = BaseConfig();
+  // Armed on every dormant feed; never due during the run.
+  config.stream.close_after_ms = 60 * 1000;
+  const std::vector<frt::Trajectory> hot =
+      FeedArrivals(hot_windows * 10, 0);
+  const frt::Trajectory dormant_arrival = FeedArrivals(1, 0)[0];
+  std::vector<std::string> dormant_names;
+  dormant_names.reserve(dormant_feeds);
+  for (int f = 0; f < dormant_feeds; ++f) {
+    dormant_names.push_back("dormant" + std::to_string(f));
+  }
+  size_t hot_published_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::mutex mu;
+    std::condition_variable cv;
+    int hot_windows_published = 0;
+    frt::ServiceDispatcher service(
+        config, [&](const std::string& feed, const frt::Dataset&,
+                    const frt::WindowReport&) -> frt::Status {
+          if (feed == "hot") {
+            std::lock_guard<std::mutex> lock(mu);
+            ++hot_windows_published;
+            cv.notify_all();
+          }
+          return frt::Status::OK();
+        });
+    if (!service.Start(kSeed).ok()) {
+      state.SkipWithError("service failed to start");
+      return;
+    }
+    for (const std::string& name : dormant_names) {
+      if (!service.Offer(name, dormant_arrival)) {
+        state.SkipWithError("offer rejected");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    // Timed: drive the hot feed through the dispatcher loop while N
+    // armed deadlines sit in the heap, and wait until its windows land.
+    for (const frt::Trajectory& t : hot) {
+      if (!service.Offer("hot", t)) {
+        state.SkipWithError("offer rejected");
+        return;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return hot_windows_published >= hot_windows; });
+    }
+    state.PauseTiming();
+    // Untimed: the final flush publishes the N dormant partial windows —
+    // O(N) work in any implementation, not what this study measures.
+    if (!service.Finish().ok()) {
+      state.SkipWithError("service run failed");
+      return;
+    }
+    hot_published_total += static_cast<size_t>(hot_windows_published);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * hot.size());
+  state.counters["dormant_feeds"] = static_cast<double>(dormant_feeds);
+  state.counters["hot_windows_per_iter"] =
+      static_cast<double>(hot_windows);
+}
+BENCHMARK(BM_DispatcherWakeup)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(2048)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EdgeAggregator(benchmark::State& state) {
+  // The distributed ingress tier end to end on a real Unix-socket
+  // loopback: E scripted edges stream pre-encoded trajectory frames into
+  // one IngressServer that offers into a live dispatcher. Measures
+  // framing + CRC + decode + serve throughput as the edge count grows
+  // (items_per_second = trajectories received and published).
+  const int edges = static_cast<int>(state.range(0));
+  const int trajs_per_edge = 200;
+  const std::vector<frt::Trajectory> arrivals =
+      FeedArrivals(trajs_per_edge, 0);
+  // Encode each edge's whole wire stream once, outside the timed loop:
+  // the aggregator side is the system under test.
+  std::vector<std::string> wires(static_cast<size_t>(edges));
+  for (int e = 0; e < edges; ++e) {
+    std::string& wire = wires[static_cast<size_t>(e)];
+    frt::net::AppendFrame(&wire, frt::net::FrameType::kHello,
+                          "bench-edge");
+    const std::string feed = "edge" + std::to_string(e);
+    for (const frt::Trajectory& t : arrivals) {
+      frt::net::AppendFrame(&wire, frt::net::FrameType::kTrajectory,
+                            frt::net::EncodeTrajectoryPayload(feed, t));
+    }
+    frt::net::AppendFrame(&wire, frt::net::FrameType::kBye, {});
+  }
+  size_t published = 0;
+  size_t quarantines = 0;
+  int round = 0;
+  for (auto _ : state) {
+    frt::ServiceDispatcher service(BaseConfig(), CountingSink(&published));
+    if (!service.Start(kSeed).ok()) {
+      state.SkipWithError("service failed to start");
+      return;
+    }
+    frt::net::Endpoint endpoint;
+    endpoint.kind = frt::net::Endpoint::Kind::kUnix;
+    endpoint.path = "/tmp/frt_bench_agg_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(round++) + ".sock";
+    frt::net::IngressServer::Options options;
+    options.endpoint = endpoint;
+    options.max_connections = static_cast<size_t>(edges);
+    frt::net::IngressServer ingress(
+        options,
+        [&service](std::string feed, frt::Trajectory t) {
+          return service.Offer(std::move(feed), std::move(t));
+        },
+        [&quarantines](const std::string&, const std::string&) {
+          ++quarantines;
+        });
+    if (!ingress.Start().ok()) {
+      state.SkipWithError("ingress failed to start");
+      return;
+    }
+    std::vector<std::thread> senders;
+    senders.reserve(static_cast<size_t>(edges));
+    for (int e = 0; e < edges; ++e) {
+      senders.emplace_back([&, e] {
+        auto conn = frt::net::ConnectTo(endpoint);
+        if (!conn.ok()) return;
+        (void)frt::net::WriteAll(conn->fd(),
+                                 wires[static_cast<size_t>(e)].data(),
+                                 wires[static_cast<size_t>(e)].size());
+      });
+    }
+    for (std::thread& t : senders) t.join();
+    ingress.Wait();
+    if (!service.Finish().ok()) {
+      state.SkipWithError("service run failed");
+      return;
+    }
+  }
+  if (quarantines != 0) {
+    state.SkipWithError("unexpected quarantine during clean loopback");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(published));
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["trajs_per_edge"] = static_cast<double>(trajs_per_edge);
+}
+BENCHMARK(BM_EdgeAggregator)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

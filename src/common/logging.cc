@@ -1,9 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 
 namespace frt {
@@ -14,8 +16,14 @@ std::atomic<int> g_level{-1};  // -1 = uninitialized
 int InitLevelFromEnv() {
   const char* env = std::getenv("FRT_LOG_LEVEL");
   if (env != nullptr) {
-    const int v = std::atoi(env);
-    if (v >= 0 && v <= 4) return v;
+    if (const std::optional<LogLevel> v = ParseLogLevel(env);
+        v.has_value()) {
+      return static_cast<int>(*v);
+    }
+    std::fprintf(stderr,
+                 "[WARN] ignoring malformed FRT_LOG_LEVEL='%s' (want an "
+                 "integer 0..4); keeping default level\n",
+                 env);
   }
   return static_cast<int>(LogLevel::kWarning);
 }
@@ -64,6 +72,19 @@ void AppendUtcTimestamp(std::ostringstream& out) {
 }
 
 }  // namespace
+
+std::optional<LogLevel> ParseLogLevel(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  const char* end = value + std::strlen(value);
+  int parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end || value == end) return std::nullopt;
+  if (parsed < static_cast<int>(LogLevel::kDebug) ||
+      parsed > static_cast<int>(LogLevel::kOff)) {
+    return std::nullopt;
+  }
+  return static_cast<LogLevel>(parsed);
+}
 
 unsigned CurrentThreadId() {
   static std::atomic<unsigned> next{1};

@@ -17,6 +17,7 @@
 #ifndef FRT_COMMON_LOGGING_H_
 #define FRT_COMMON_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -29,6 +30,14 @@ enum class LogLevel : int {
   kError = 3,
   kOff = 4,
 };
+
+/// \brief Strictly parses a FRT_LOG_LEVEL-style value: the whole string
+/// must be an integer in [0, 4]. Returns nullopt for anything else —
+/// empty, trailing garbage ("1x"), fractions ("1.5"), or out-of-range
+/// values — so a typo keeps the default level instead of silently
+/// becoming level 0 (the atoi behavior the CLIs' flag parsers already
+/// reject).
+std::optional<LogLevel> ParseLogLevel(const char* value);
 
 /// Sets the global minimum level that will be emitted.
 void SetLogLevel(LogLevel level);

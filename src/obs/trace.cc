@@ -42,6 +42,7 @@ const char* SpanCategoryName(SpanCategory category) {
     case SpanCategory::kDurability: return "durability";
     case SpanCategory::kPublish: return "publish";
     case SpanCategory::kPool: return "pool";
+    case SpanCategory::kNet: return "net";
   }
   return "?";
 }

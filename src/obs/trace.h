@@ -48,6 +48,7 @@ enum class SpanCategory : uint8_t {
   kDurability = 5, ///< checkpoint write + fsync
   kPublish = 6,    ///< sink / publish path
   kPool = 7,       ///< worker pool scheduling (task/steal/idle)
+  kNet = 8,        ///< ingress framing: socket reads + frame decoding
 };
 
 const char* SpanCategoryName(SpanCategory category);

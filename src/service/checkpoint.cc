@@ -294,11 +294,26 @@ Status CheckpointStore::Write(const ServiceCheckpoint& checkpoint) {
     ::unlink(tmp_path_.c_str());
     return Status::IOError("rename to " + path_ + " failed: " + err);
   }
-  // Make the rename itself durable.
+  // Make the rename itself durable. A failure here means the snapshot
+  // may vanish on power loss even though the rename is visible — the
+  // caller must treat the write as NOT durable.
+  return SyncDir();
+}
+
+Status CheckpointStore::SyncDir() const {
   const int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);
+  if (dir_fd < 0) {
+    return Status::IOError("cannot open state dir " + dir_ +
+                           " for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    const std::string err = std::strerror(errno);
     ::close(dir_fd);
+    return Status::IOError("fsync failed on state dir " + dir_ + ": " + err);
+  }
+  if (::close(dir_fd) != 0) {
+    return Status::IOError("close failed on state dir " + dir_ + ": " +
+                           std::strerror(errno));
   }
   return Status::OK();
 }

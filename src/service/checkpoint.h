@@ -101,8 +101,15 @@ class CheckpointStore {
   Result<std::optional<ServiceCheckpoint>> Load() const;
 
   /// \brief Durably replaces the snapshot: write temp, fsync, atomic
-  /// rename, fsync directory.
+  /// rename, fsync directory. Every step's failure — the directory
+  /// fsync included — is an IOError: a rename that is not yet durable
+  /// would silently void the write-ahead guarantee on power loss.
   Status Write(const ServiceCheckpoint& checkpoint);
+
+  /// \brief Makes the latest rename durable: open + fsync + close of the
+  /// state directory. Split out of Write() so the failure paths (a
+  /// deleted or unreadable state directory) are testable directly.
+  Status SyncDir() const;
 
   /// Snapshot path (<dir>/budget_ledgers.ckpt).
   const std::string& path() const { return path_; }

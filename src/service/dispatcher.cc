@@ -146,6 +146,19 @@ bool ServiceDispatcher::Offer(std::string feed, Trajectory t) {
   return arrivals_->Push(std::move(arrival));
 }
 
+bool ServiceDispatcher::OfferQuarantine(std::string feed,
+                                        std::string reason) {
+  if (!started_) return false;
+  // Rides the arrival queue so it lands on the dispatcher thread in order
+  // with the producer's earlier Offer() calls — the feed's already-queued
+  // good arrivals are still routed before the fault takes effect.
+  Arrival arrival;
+  arrival.feed = std::move(feed);
+  arrival.quarantine = true;
+  arrival.reason = std::move(reason);
+  return arrivals_->Push(std::move(arrival));
+}
+
 Status ServiceDispatcher::Finish() {
   if (!started_) return Status::FailedPrecondition("service never started");
   if (finished_) return error_;
@@ -164,11 +177,14 @@ void ServiceDispatcher::Abort(Status status) {
   arrivals_->Close();
 }
 
-Status ServiceDispatcher::Route(Arrival&& arrival,
-                                SteadyClock::time_point now) {
+void ServiceDispatcher::Route(Arrival&& arrival,
+                              SteadyClock::time_point now) {
   auto [it, inserted] = feeds_.try_emplace(arrival.feed);
   FeedSlot& slot = it->second;
   if (inserted) feed_order_.push_back(arrival.feed);
+  // A quarantined feed never revives: its stream already proved
+  // untrustworthy, so everything it sends after the fault is dropped.
+  if (slot.quarantined) return;
   if (!slot.session) {
     // Generation 0, or a revival of an idle-evicted feed: the carry
     // preloads the predecessor's budget state conservatively.
@@ -184,56 +200,122 @@ Status ServiceDispatcher::Route(Arrival&& arrival,
     report_.peak_active_sessions =
         std::max(report_.peak_active_sessions, active_sessions_);
   }
+  if (!slot.in_live_order) {
+    slot.in_live_order = true;
+    live_order_.push_back(arrival.feed);
+  }
+  const std::string feed = arrival.feed;
   slot.session->set_evict_when_drained(false);  // the feed is live again
   slot.session->Offer(std::move(arrival.trajectory), now);
-  while (slot.session->WindowReady()) {
-    FRT_RETURN_IF_ERROR(
-        slot.session->CloseWindow(WindowClose::kCount, now));
+  while (slot.session && slot.session->WindowReady()) {
+    if (!CloseSessionWindow(feed, slot, WindowClose::kCount, now)) return;
   }
-  return Status::OK();
+  ArmDeadline(feed, slot);
 }
 
-Status ServiceDispatcher::CloseExpired(SteadyClock::time_point now) {
-  if (config_.stream.close_after_ms <= 0) return Status::OK();
-  for (const auto& name : feed_order_) {
-    FeedSlot& slot = feeds_.at(name);
-    if (!slot.session) continue;
-    const auto deadline = slot.session->CloseDeadline();
-    if (deadline.has_value() && now >= *deadline) {
-      FRT_RETURN_IF_ERROR(
-          slot.session->CloseWindow(WindowClose::kDeadline, now));
-    }
+std::optional<SteadyClock::time_point> ServiceDispatcher::EffectiveDeadline(
+    const FeedSlot& slot) const {
+  if (!slot.session || slot.quarantined) return std::nullopt;
+  std::optional<SteadyClock::time_point> deadline =
+      slot.session->CloseDeadline();
+  if (config_.idle_evict_ms > 0 && !slot.session->evict_when_drained()) {
+    const SteadyClock::time_point idle_at =
+        slot.session->last_arrival() +
+        std::chrono::milliseconds(config_.idle_evict_ms);
+    deadline = deadline.has_value() ? std::min(*deadline, idle_at) : idle_at;
   }
-  return Status::OK();
+  return deadline;
 }
 
-Status ServiceDispatcher::EvictIdle(SteadyClock::time_point now) {
-  if (config_.idle_evict_ms <= 0) return Status::OK();
-  const auto idle = std::chrono::milliseconds(config_.idle_evict_ms);
-  for (const auto& name : feed_order_) {
-    FeedSlot& slot = feeds_.at(name);
-    if (!slot.session) continue;
-    if (slot.session->evict_when_drained()) {
-      // A flagged session normally falls to HandleCompletion's eviction,
-      // but one whose backlog drained through admission REFUSALS never
-      // gets a completion — catch it here.
-      if (slot.session->Drained()) EvictSession(&slot);
-      continue;
+void ServiceDispatcher::ArmDeadline(const std::string& feed,
+                                    FeedSlot& slot) {
+  const std::optional<SteadyClock::time_point> deadline =
+      EffectiveDeadline(slot);
+  if (!deadline.has_value() || *deadline >= slot.armed_deadline) return;
+  slot.armed_deadline = *deadline;
+  deadlines_.push(DeadlineEntry{*deadline, feed});
+}
+
+void ServiceDispatcher::ProcessDueDeadlines(SteadyClock::time_point now) {
+  while (!deadlines_.empty() && deadlines_.top().when <= now) {
+    const DeadlineEntry entry = deadlines_.top();
+    deadlines_.pop();
+    const auto it = feeds_.find(entry.feed);
+    if (it == feeds_.end()) continue;
+    FeedSlot& slot = it->second;
+    // Only the entry the slot considers armed is live; anything else was
+    // superseded by a smaller push and that smaller entry will serve the
+    // feed.
+    if (entry.when != slot.armed_deadline) continue;
+    slot.armed_deadline = SteadyClock::time_point::max();
+    if (!slot.session || slot.quarantined) continue;
+    if (config_.stream.close_after_ms > 0) {
+      const auto close_deadline = slot.session->CloseDeadline();
+      if (close_deadline.has_value() && now >= *close_deadline) {
+        if (!CloseSessionWindow(entry.feed, slot, WindowClose::kDeadline,
+                                now)) {
+          continue;
+        }
+      }
     }
-    if (now - slot.session->last_arrival() < idle) continue;
-    // Flush the trailing partial window first — eviction publishes, it
-    // never drops.
-    if (slot.session->uncovered() > 0) {
-      FRT_RETURN_IF_ERROR(
-          slot.session->CloseWindow(WindowClose::kFinal, now));
+    if (config_.idle_evict_ms > 0 && !slot.session->evict_when_drained() &&
+        now - slot.session->last_arrival() >=
+            std::chrono::milliseconds(config_.idle_evict_ms)) {
+      // Flush the trailing partial window first — eviction publishes, it
+      // never drops.
+      if (slot.session->uncovered() > 0) {
+        if (!CloseSessionWindow(entry.feed, slot, WindowClose::kFinal,
+                                now)) {
+          continue;
+        }
+      }
+      if (slot.session->Drained()) {
+        EvictSession(&slot);
+      } else {
+        slot.session->set_evict_when_drained(true);
+      }
     }
-    if (slot.session->Drained()) {
-      EvictSession(&slot);
-    } else {
-      slot.session->set_evict_when_drained(true);
-    }
+    if (slot.session && !slot.quarantined) ArmDeadline(entry.feed, slot);
   }
-  return Status::OK();
+}
+
+bool ServiceDispatcher::CloseSessionWindow(const std::string& feed,
+                                           FeedSlot& slot,
+                                           WindowClose reason,
+                                           SteadyClock::time_point now) {
+  if (Status st = slot.session->CloseWindow(reason, now); !st.ok()) {
+    QuarantineFeed(feed, st.ToString());
+    return false;
+  }
+  ++backlog_windows_;
+  return true;
+}
+
+void ServiceDispatcher::QuarantineFeed(const std::string& feed,
+                                       std::string reason) {
+  auto [it, inserted] = feeds_.try_emplace(feed);
+  FeedSlot& slot = it->second;
+  if (inserted) feed_order_.push_back(feed);
+  if (slot.quarantined) return;  // first fault wins
+  slot.quarantined = true;
+  slot.quarantine_reason = std::move(reason);
+  slot.armed_deadline = SteadyClock::time_point::max();
+  live_order_dirty_ = true;
+  FRT_LOG(Warning) << "service: quarantined feed '" << feed
+                   << "': " << slot.quarantine_reason;
+  if (slot.session) {
+    // Tear the session down, keeping what it already did for the final
+    // report. The backlog is dropped (its windows never execute); spend
+    // already charged stays charged, same rule as every discard path. An
+    // in-flight job is self-contained and its completion is ignored.
+    backlog_windows_ -= slot.session->backlog_size();
+    MergeStreamReport(&slot.merged, slot.session->report(),
+                      config_.stream.max_window_reports);
+    slot.carry = slot.session->Carry();
+    slot.session.reset();
+    ledger_dirty_ = true;
+    --active_sessions_;
+  }
 }
 
 void ServiceDispatcher::EvictSession(FeedSlot* slot) {
@@ -242,24 +324,68 @@ void ServiceDispatcher::EvictSession(FeedSlot* slot) {
   slot->carry = slot->session->Carry();
   slot->ever_evicted = true;
   slot->session.reset();
+  slot->armed_deadline = SteadyClock::time_point::max();
+  live_order_dirty_ = true;
   ledger_dirty_ = true;
   ++report_.sessions_evicted;
   --active_sessions_;
 }
 
 void ServiceDispatcher::SubmitReady() {
-  if (aborted_ || feed_order_.empty()) return;
-  // Rotate the scan start each call: with more backlogged feeds than
-  // in-flight slots, a fixed order would let the earliest feeds
-  // monopolize the pool and starve the tail.
-  const size_t n = feed_order_.size();
-  submit_rr_ = (submit_rr_ + 1) % n;
+  if (aborted_) return;
+  // The running counter makes the no-work case O(1): with no closed
+  // window waiting anywhere there is nothing to submit, no refusal to
+  // notice, and no refusal-drained session to evict (those are handled
+  // where their last job lands, in FlushPublishes), so the per-feed scan
+  // below — O(live feeds) — is skipped entirely. Arrivals on one hot
+  // feed no longer pay for thousands of dormant siblings.
+  if (backlog_windows_ == 0) return;
+  // Lazy compaction: drop entries whose session died (evicted or
+  // quarantined) since the last scan, so the scan length tracks LIVE
+  // feeds — a service that has seen 10k feeds but serves 20 pays for 20.
+  if (live_order_dirty_) {
+    // Keep the rotation anchored on the same feed across the compaction.
+    const std::string anchor =
+        live_order_.empty() ? std::string()
+                            : live_order_[submit_rr_ % live_order_.size()];
+    live_order_.erase(
+        std::remove_if(live_order_.begin(), live_order_.end(),
+                       [this](const std::string& name) {
+                         FeedSlot& slot = feeds_.at(name);
+                         const bool dead =
+                             !slot.session || slot.quarantined;
+                         if (dead) slot.in_live_order = false;
+                         return dead;
+                       }),
+        live_order_.end());
+    live_order_dirty_ = false;
+    submit_rr_ = 0;
+    for (size_t i = 0; i < live_order_.size(); ++i) {
+      if (live_order_[i] == anchor) {
+        submit_rr_ = i;
+        break;
+      }
+    }
+  }
+  if (live_order_.empty()) return;
+  // The scan starts where the last one granted its final slot: feeds that
+  // were served rotate to the back, so scarce in-flight slots cycle
+  // round-robin over the backlogged feeds instead of re-serving the
+  // front of the list every call.
+  const size_t n = live_order_.size();
+  size_t last_granted = submit_rr_;
+  bool granted = false;
   for (size_t k = 0; k < n; ++k) {
-    if (in_flight_ >= config_.max_in_flight) return;
-    const std::string& name = feed_order_[(submit_rr_ + k) % n];
+    if (in_flight_ >= config_.max_in_flight) break;
+    const size_t pos = (submit_rr_ + k) % n;
+    const std::string& name = live_order_[pos];
     FeedSlot& slot = feeds_.at(name);
-    if (!slot.session) continue;
+    if (!slot.session || slot.quarantined) continue;  // died mid-scan
+    const size_t backlog_before = slot.session->backlog_size();
     std::optional<WindowJob> job = slot.session->NextSubmittable();
+    // Admission refusals and the submission both shrink the backlog; the
+    // running counter absorbs whatever NextSubmittable consumed.
+    backlog_windows_ -= backlog_before - slot.session->backlog_size();
     if (config_.stream.stop_when_exhausted && !stopping_ &&
         slot.session->had_refusals()) {
       // End service at the first refusal (mirrors StreamRunner's
@@ -277,6 +403,8 @@ void ServiceDispatcher::SubmitReady() {
       continue;
     }
     ++in_flight_;
+    granted = true;
+    last_granted = pos;
     // The job is self-contained: the worker touches nothing owned by the
     // session (which could be evicted only when drained — and it is busy
     // now, so it cannot drain before this completion lands).
@@ -312,20 +440,32 @@ void ServiceDispatcher::SubmitReady() {
       completions->Push(std::move(completion));
     });
   }
+  // A scan that granted nothing keeps its anchor — rotating on empty
+  // scans would shuffle the order without serving anyone.
+  if (granted) submit_rr_ = (last_granted + 1) % n;
 }
 
 void ServiceDispatcher::AbsorbCompletion(
     std::unique_ptr<Completion> completion) {
   --in_flight_;
   FeedSlot& slot = feeds_.at(completion->job.feed);
+  if (!slot.session) {
+    // The feed was quarantined while this job was in flight; the session
+    // is gone and the result is discarded (spend already merged into the
+    // slot's carry at teardown).
+    return;
+  }
   FeedSession& session = *slot.session;
   if (aborted_) {
     session.Abandon();
     return;
   }
   if (!completion->published.ok()) {
+    // A failed window pipeline poisons only its own feed: quarantine it
+    // and keep serving the siblings.
     session.Abandon();
-    Abort(completion->published.status());
+    QuarantineFeed(completion->job.feed,
+                   completion->published.status().ToString());
     return;
   }
   const SteadyClock::time_point now = SteadyClock::now();
@@ -340,7 +480,7 @@ void ServiceDispatcher::AbsorbCompletion(
       completion->job, *completion->published, completion->batch,
       publish_ms);
   if (!window_report.ok()) {
-    Abort(window_report.status());
+    QuarantineFeed(completion->job.feed, window_report.status().ToString());
     return;
   }
   ledger_dirty_ = true;  // Complete() charged the accountants
@@ -385,6 +525,11 @@ void ServiceDispatcher::FlushPublishes() {
   for (PendingPublish& pending : pending_) {
     if (aborted_) break;
     FeedSlot& slot = feeds_.at(pending.feed);
+    if (!slot.session) {
+      // Quarantined after the window completed but before this flush: the
+      // output is discarded (its spend stays charged and checkpointed).
+      continue;
+    }
     const SteadyClock::time_point sink_start = SteadyClock::now();
     if (Status st = sink_(pending.feed, pending.published, pending.report);
         !st.ok()) {
@@ -424,7 +569,12 @@ Status ServiceDispatcher::WriteCheckpointNow() {
     image.feeds.push_back(std::move(feed));
   }
   const SteadyClock::time_point write_start = SteadyClock::now();
-  FRT_RETURN_IF_ERROR(store_->Write(image));
+  if (Status st = store_->Write(image); !st.ok()) {
+    // Counted before the abort so the last metrics tick shows WHY the
+    // service died (satellite to the dir-fsync propagation fix).
+    ++checkpoint_errors_;
+    return st;
+  }
   checkpoint_seq_ = image.sequence;
   ++checkpoints_written_;
   ledger_dirty_ = false;
@@ -466,6 +616,8 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
   s.active_sessions = active_sessions_;
   s.queue_depth = arrivals_->size();
   s.in_flight = in_flight_;
+  s.backlog_windows = backlog_windows_;
+  s.checkpoint_errors = checkpoint_errors_;
   const bool per_feed = config_.metrics->per_feed();
   const double budget =
       config_.stream.accounting == BudgetAccounting::kWholesale
@@ -483,8 +635,8 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
     size_t trajectories_in = slot.merged.trajectories_in;
     size_t trajectories_published = slot.merged.trajectories_published;
     double epsilon_spent = slot.merged.epsilon_spent;
+    if (slot.quarantined) ++s.feeds_quarantined;
     if (slot.session) {
-      s.backlog_windows += slot.session->backlog_size();
       const StreamReport& live = slot.session->report();
       windows_closed += live.windows_closed;
       windows_published += live.windows_published;
@@ -556,6 +708,9 @@ void ServiceDispatcher::BuildFinalReport() {
     feed_report.feed = name;
     feed_report.sessions = slot.generations;
     feed_report.evicted = !slot.session && slot.ever_evicted;
+    feed_report.quarantined = slot.quarantined;
+    feed_report.quarantine_reason = slot.quarantine_reason;
+    if (slot.quarantined) ++report_.feeds_quarantined;
     feed_report.stream = slot.merged;
     if (slot.session) {
       MergeStreamReport(&feed_report.stream, slot.session->report(),
@@ -613,33 +768,17 @@ void ServiceDispatcher::DispatcherLoop() {
     FlushPublishes();
     SubmitReady();
 
-    // Sleep until the next arrival — but no later than the earliest
-    // closure/eviction deadline, and no later than the completion poll
-    // when jobs are in flight. Sessions whose eviction cannot fire yet
-    // (already flagged evict_when_drained, waiting on a completion) are
-    // excluded from the deadline, or their stale past-due deadline would
-    // turn this loop into a busy spin.
+    // Sleep until the next arrival — but no later than the earliest armed
+    // session deadline, and no later than the completion poll when jobs
+    // are in flight. The deadline heap makes this O(1) per iteration
+    // where it used to scan every feed ever seen: the top entry may be
+    // stale (its deadline moved later), which only costs one spurious
+    // wakeup that pops and re-arms it.
     SteadyClock::time_point deadline = SteadyClock::time_point::max();
     bool timed = false;
-    size_t backlog_windows = 0;
-    if (!aborted_) {
-      for (const auto& name : feed_order_) {
-        const FeedSlot& slot = feeds_.at(name);
-        if (!slot.session) continue;
-        backlog_windows += slot.session->backlog_size();
-        if (const auto d = slot.session->CloseDeadline(); d.has_value()) {
-          deadline = std::min(deadline, *d);
-          timed = true;
-        }
-        if (config_.idle_evict_ms > 0 &&
-            !slot.session->evict_when_drained()) {
-          deadline = std::min(
-              deadline,
-              slot.session->last_arrival() +
-                  std::chrono::milliseconds(config_.idle_evict_ms));
-          timed = true;
-        }
-      }
+    if (!aborted_ && !deadlines_.empty()) {
+      deadline = deadlines_.top().when;
+      timed = true;
     }
     // Housekeeping deadlines: the next metrics tick, and the interval
     // snapshot for dirty ledgers that have no publish to ride on.
@@ -658,7 +797,7 @@ void ServiceDispatcher::DispatcherLoop() {
       timed = true;
     }
 
-    if (!aborted_ && backlog_windows >= config_.max_backlog_windows) {
+    if (!aborted_ && backlog_windows_ >= config_.max_backlog_windows) {
       // The pool is the bottleneck: pause ingress (arrivals pile into the
       // bounded queue until Offer blocks — end-to-end backpressure) and
       // wait directly for a completion to drain the backlog. A session
@@ -672,10 +811,7 @@ void ServiceDispatcher::DispatcherLoop() {
       }
       FlushPublishes();
       const SteadyClock::time_point now = SteadyClock::now();
-      if (!aborted_ && !stopping_) {
-        if (Status st = CloseExpired(now); !st.ok()) Abort(st);
-        if (Status st = EvictIdle(now); !st.ok()) Abort(st);
-      }
+      if (!aborted_ && !stopping_) ProcessDueDeadlines(now);
       MaybeCheckpoint(now);
       MaybePublishMetrics(now);
       continue;
@@ -704,8 +840,10 @@ void ServiceDispatcher::DispatcherLoop() {
         // After an abort or a stop_when_exhausted trip the remaining
         // ingress is drained and discarded.
         if (!aborted_ && !stopping_) {
-          if (Status st = Route(std::move(arrival), now); !st.ok()) {
-            Abort(st);
+          if (arrival.quarantine) {
+            QuarantineFeed(arrival.feed, std::move(arrival.reason));
+          } else {
+            Route(std::move(arrival), now);
           }
         }
         break;
@@ -715,10 +853,7 @@ void ServiceDispatcher::DispatcherLoop() {
         input_done = true;
         break;
     }
-    if (!aborted_ && !stopping_) {
-      if (Status st = CloseExpired(now); !st.ok()) Abort(st);
-      if (Status st = EvictIdle(now); !st.ok()) Abort(st);
-    }
+    if (!aborted_ && !stopping_) ProcessDueDeadlines(now);
     MaybeCheckpoint(now);
     MaybePublishMetrics(now);
   }
@@ -731,12 +866,12 @@ void ServiceDispatcher::DispatcherLoop() {
     const SteadyClock::time_point now = SteadyClock::now();
     for (const auto& name : feed_order_) {
       FeedSlot& slot = feeds_.at(name);
-      if (slot.session && slot.session->uncovered() > 0) {
-        if (Status st = slot.session->CloseWindow(WindowClose::kFinal, now);
-            !st.ok()) {
-          Abort(st);
-          break;
-        }
+      if (slot.session && !slot.quarantined &&
+          slot.session->uncovered() > 0) {
+        // A final-flush closure failure (duplicate object id in the
+        // trailing partial window) quarantines that feed; the siblings
+        // still drain and publish.
+        (void)CloseSessionWindow(name, slot, WindowClose::kFinal, now);
       }
     }
   }

@@ -51,6 +51,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -125,6 +126,13 @@ struct FeedReport {
   uint64_t sessions = 1;
   /// True when the feed's session was idle-evicted and not re-opened.
   bool evicted = false;
+  /// True when the feed was quarantined (malformed input, decode failure,
+  /// or a per-feed pipeline error): its session was torn down, its backlog
+  /// dropped, and further arrivals were refused — without failing the
+  /// sibling feeds.
+  bool quarantined = false;
+  /// First fault that quarantined the feed (empty unless quarantined).
+  std::string quarantine_reason;
   /// Merged per-feed streaming report. Counters are summed across
   /// generations; epsilon fields are the latest session's (which already
   /// carry the predecessors' spend).
@@ -169,6 +177,8 @@ struct ServiceReport {
   size_t checkpoints_written = 0;
   uint64_t checkpoint_sequence = 0;
   size_t feeds_recovered = 0;
+  /// Feeds quarantined by per-feed faults this run (see FeedReport).
+  size_t feeds_quarantined = 0;
   /// Per-feed reports, sorted by feed id.
   std::vector<FeedReport> feeds_report;
 };
@@ -202,6 +212,14 @@ class ServiceDispatcher {
   /// the service is finishing or aborted — the producer should stop.
   bool Offer(std::string feed, Trajectory t);
 
+  /// \brief Reports `feed` as untrustworthy (malformed frame, decode
+  /// failure): the dispatcher tears down its session, drops its backlog,
+  /// and refuses its further arrivals, leaving every other feed
+  /// untouched. Thread-safe and idempotent; ordered with Offer() calls
+  /// from the same producer thread (both ride the arrival queue). Returns
+  /// false once the service is finishing or aborted.
+  bool OfferQuarantine(std::string feed, std::string reason);
+
   /// \brief Closes ingress, drains every session (final partial windows
   /// included), waits for all in-flight jobs, and joins the dispatcher.
   /// Returns the first error the run hit (ingest routing, pipeline, sink,
@@ -227,6 +245,9 @@ class ServiceDispatcher {
   struct Arrival {
     std::string feed;
     Trajectory trajectory;
+    /// OfferQuarantine marker: no trajectory, `reason` set instead.
+    bool quarantine = false;
+    std::string reason;
   };
   /// A feed's state across session generations (dispatcher thread only).
   struct FeedSlot {
@@ -236,11 +257,39 @@ class ServiceDispatcher {
     /// Counters merged out of evicted generations.
     StreamReport merged;
     bool ever_evicted = false;
+    /// The feed was declared untrustworthy: session gone, backlog
+    /// dropped, arrivals refused. Never revived.
+    bool quarantined = false;
+    std::string quarantine_reason;
+    /// Membership flag for live_order_ (lazy compaction).
+    bool in_live_order = false;
+    /// Earliest deadline currently pushed on the heap for this feed
+    /// (time_point::max() when none): a new deadline only pushes when it
+    /// beats this, so the heap never grows faster than one entry per
+    /// arrival batch. Reset on eviction/quarantine so a revived session
+    /// re-arms from scratch.
+    std::chrono::steady_clock::time_point armed_deadline =
+        std::chrono::steady_clock::time_point::max();
     /// Per-feed latency histograms, surviving across generations (the
     /// fixed obs::Histogram footprint is what makes per-feed aggregates
     /// affordable where the old sample rings were not).
     obs::Histogram close_wait_hist;
     obs::Histogram publish_hist;
+  };
+  /// Min-heap entry: the earliest moment `feed` may need attention
+  /// (deadline window closure or idle eviction). Entries are lazy — a
+  /// deadline that moved later or disappeared leaves a stale entry that
+  /// is discarded at pop — so arming is push-only and the dispatcher's
+  /// per-iteration deadline lookup is O(1) instead of a scan of every
+  /// feed ever seen.
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point when;
+    std::string feed;
+  };
+  struct DeadlineLater {
+    bool operator()(const DeadlineEntry& a, const DeadlineEntry& b) const {
+      return a.when > b.when;
+    }
   };
   /// A completed window whose spend is charged but whose output has not
   /// yet been handed to the sink — it waits for the write-ahead checkpoint
@@ -252,12 +301,31 @@ class ServiceDispatcher {
   };
 
   void DispatcherLoop();
-  /// Routes one arrival into its session (reviving evicted feeds).
-  Status Route(Arrival&& arrival, std::chrono::steady_clock::time_point now);
-  /// Closes windows whose close_after_ms deadline has passed.
-  Status CloseExpired(std::chrono::steady_clock::time_point now);
-  /// Flushes and tears down sessions idle past idle_evict_ms.
-  Status EvictIdle(std::chrono::steady_clock::time_point now);
+  /// Routes one arrival into its session (reviving evicted feeds;
+  /// dropping arrivals of quarantined feeds). A window-closure failure is
+  /// a per-feed fault — the feed is quarantined, the service survives.
+  void Route(Arrival&& arrival, std::chrono::steady_clock::time_point now);
+  /// Earliest future moment `slot` needs attention: its close_after_ms
+  /// window deadline or its idle-eviction time, whichever comes first.
+  std::optional<std::chrono::steady_clock::time_point> EffectiveDeadline(
+      const FeedSlot& slot) const;
+  /// Pushes `slot`'s effective deadline onto the heap if it beats the
+  /// entry already armed for it.
+  void ArmDeadline(const std::string& feed, FeedSlot& slot);
+  /// Pops every due heap entry and services it: deadline window closure,
+  /// then idle eviction, then re-arm. O(log feeds) per wakeup; stale
+  /// entries are discarded.
+  void ProcessDueDeadlines(std::chrono::steady_clock::time_point now);
+  /// Closes one window on `slot`'s session, keeping the running backlog
+  /// counter. A closure failure (duplicate object id, ...) quarantines
+  /// the feed; returns false in that case.
+  bool CloseSessionWindow(const std::string& feed, FeedSlot& slot,
+                          WindowClose reason,
+                          std::chrono::steady_clock::time_point now);
+  /// Declares `feed` untrustworthy: merges and tears down its session,
+  /// drops its backlog, marks the slot so arrivals and revivals are
+  /// refused. Idempotent. Never touches sibling feeds.
+  void QuarantineFeed(const std::string& feed, std::string reason);
   /// Submits admissible backlog windows while in-flight capacity lasts.
   void SubmitReady();
   /// Absorbs one finished job: charges budgets, samples latency, and
@@ -295,11 +363,28 @@ class ServiceDispatcher {
 
   // Dispatcher-thread state.
   std::unordered_map<std::string, FeedSlot> feeds_;
-  std::vector<std::string> feed_order_;  ///< first-seen order
+  std::vector<std::string> feed_order_;  ///< first-seen order (reports)
+  /// Feeds with a live session — the only ones SubmitReady scans. Entries
+  /// whose session died (evicted or quarantined) are compacted out lazily
+  /// at the next scan (live_order_dirty_), so a long-lived service that
+  /// has seen N feeds but serves k pays O(k), not O(N), per scan.
+  std::vector<std::string> live_order_;
+  bool live_order_dirty_ = false;
+  /// Lazy min-heap over every live feed's next deadline (see
+  /// DeadlineEntry) — replaces the per-iteration scan of all feeds.
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      DeadlineLater>
+      deadlines_;
+  /// Closed-but-not-yet-submitted windows across all sessions, maintained
+  /// incrementally (close: +1, submit/refusal: -delta, quarantine:
+  /// -backlog) — the backpressure test no longer scans every session.
+  size_t backlog_windows_ = 0;
   size_t active_sessions_ = 0;
   size_t in_flight_ = 0;
-  /// Rotating start of the SubmitReady scan, so no feed owns the front of
-  /// the submission order when slots are scarce.
+  /// Start of the next SubmitReady scan: rotated to just past the last
+  /// feed that actually got a submission slot, so with more backlogged
+  /// feeds than slots the grant cycles round-robin instead of re-serving
+  /// the scan's front-runners every call.
   size_t submit_rr_ = 0;
   bool aborted_ = false;
   /// stream.stop_when_exhausted tripped: ingress is closed and discarded,
@@ -320,6 +405,9 @@ class ServiceDispatcher {
   std::vector<PendingPublish> pending_;
   uint64_t checkpoint_seq_ = 0;  ///< resumes from the recovered snapshot
   size_t checkpoints_written_ = 0;
+  /// Snapshot writes that failed (each aborts the run; surfaced in
+  /// metrics so an operator sees WHY the service died).
+  size_t checkpoint_errors_ = 0;
   /// Ledger state changed since the last snapshot (spend, generation, or
   /// window-counter movement).
   bool ledger_dirty_ = false;

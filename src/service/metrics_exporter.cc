@@ -118,18 +118,21 @@ bool MetricsExporter::Emit(const MetricsSnapshot& s) {
       "active_sessions=%zu queue_depth=%zu backlog_windows=%zu "
       "in_flight=%zu windows_closed=%zu windows_published=%zu "
       "windows_refused=%zu windows_deadline_closed=%zu trajs_in=%zu "
-      "trajs_published=%zu publish_per_s=%.1f close_wait_p50_ms=%.2f "
+      "trajs_published=%zu feeds_quarantined=%zu publish_per_s=%.1f "
+      "close_wait_p50_ms=%.2f "
       "close_wait_p99_ms=%.2f publish_p50_ms=%.2f publish_p99_ms=%.2f "
-      "eps_spent_max=%.6f ckpt_seq=%llu ckpt_age_ms=%.0f ckpt_written=%zu\n",
+      "eps_spent_max=%.6f ckpt_seq=%llu ckpt_age_ms=%.0f ckpt_written=%zu "
+      "ckpt_errors=%zu\n",
       static_cast<long long>(ts), static_cast<unsigned long long>(s.seq),
       static_cast<long long>(s.uptime_ms), s.feeds, s.active_sessions,
       s.queue_depth, s.backlog_windows, s.in_flight, s.windows_closed,
       s.windows_published, s.windows_refused, s.windows_deadline_closed,
-      s.trajectories_in, s.trajectories_published, publish_per_s,
+      s.trajectories_in, s.trajectories_published, s.feeds_quarantined,
+      publish_per_s,
       s.close_wait_p50_ms, s.close_wait_p99_ms, s.publish_p50_ms,
       s.publish_p99_ms, s.epsilon_spent_max,
       static_cast<unsigned long long>(s.checkpoint_seq), s.checkpoint_age_ms,
-      s.checkpoints_written);
+      s.checkpoints_written, s.checkpoint_errors);
   if (options_.per_feed) {
     for (const MetricsSnapshot::Feed& feed : s.feeds_detail) {
       line += StrFormat(

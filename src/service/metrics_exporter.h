@@ -18,9 +18,11 @@
 //     active_sessions=... queue_depth=... backlog_windows=... in_flight=...
 //     windows_closed=... windows_published=... windows_refused=...
 //     windows_deadline_closed=... trajs_in=... trajs_published=...
-//     publish_per_s=<delta throughput> close_wait_p50_ms=...
+//     feeds_quarantined=... publish_per_s=<delta throughput>
+//     close_wait_p50_ms=...
 //     close_wait_p99_ms=... publish_p50_ms=... publish_p99_ms=...
 //     eps_spent_max=... ckpt_seq=... ckpt_age_ms=... ckpt_written=...
+//     ckpt_errors=...
 //
 //   frt_feed ts_ms=... feed=<id> eps_spent=... eps_remaining=...
 //     windows_published=... windows_refused=...
@@ -72,6 +74,8 @@ struct MetricsSnapshot {
   size_t windows_deadline_closed = 0;
   size_t trajectories_in = 0;
   size_t trajectories_published = 0;
+  /// Feeds quarantined so far (malformed input / per-feed faults).
+  size_t feeds_quarantined = 0;
   double close_wait_p50_ms = 0.0;
   double close_wait_p99_ms = 0.0;
   double publish_p50_ms = 0.0;
@@ -84,6 +88,9 @@ struct MetricsSnapshot {
   uint64_t checkpoint_seq = 0;
   double checkpoint_age_ms = -1.0;
   size_t checkpoints_written = 0;
+  /// Failed snapshot writes (each aborts the run; non-zero explains an
+  /// unexpected exit).
+  size_t checkpoint_errors = 0;
 
   struct Feed {
     std::string feed;

@@ -192,6 +192,25 @@ TEST(CheckpointStoreTest, WriteLoadRoundTripAndOverwrite) {
   EXPECT_EQ(::access((store->path() + ".tmp").c_str(), F_OK), -1);
 }
 
+TEST(CheckpointStoreTest, SyncDirFailurePropagatesAsIOError) {
+  // The durability contract is "rename THEN dir fsync": a crash between
+  // them can lose the rename, so a failed dir sync must fail the Write —
+  // it used to be silently discarded. Deleting the state dir out from
+  // under the store makes the dir open (the first SyncDir step) fail
+  // deterministically.
+  const std::string dir = MakeStateDir();
+  auto store = CheckpointStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store->SyncDir().ok());
+  ASSERT_EQ(::rmdir(dir.c_str()), 0) << "state dir should still be empty";
+  const Status st = store->SyncDir();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // And through the full Write path: with the directory gone the write
+  // must report the failure, never pretend the snapshot is durable.
+  EXPECT_FALSE(store->Write(SampleCheckpoint()).ok());
+}
+
 TEST(CheckpointStoreTest, LoadRejectsCorruptSnapshot) {
   const std::string dir = MakeStateDir();
   auto store = CheckpointStore::Open(dir);
@@ -389,6 +408,8 @@ TEST(MetricsExporterTest, EmitsMachineReadableLines) {
   snapshot.epsilon_spent_max = 1.8;
   snapshot.checkpoint_seq = 5;
   snapshot.checkpoints_written = 5;
+  snapshot.checkpoint_errors = 2;
+  snapshot.feeds_quarantined = 1;
   MetricsSnapshot::Feed feed;
   feed.feed = "alpha";
   feed.epsilon_spent = 1.8;
@@ -407,6 +428,8 @@ TEST(MetricsExporterTest, EmitsMachineReadableLines) {
   EXPECT_NE(log.find("seq=7"), std::string::npos);
   EXPECT_NE(log.find("windows_published=3"), std::string::npos);
   EXPECT_NE(log.find("ckpt_seq=5"), std::string::npos);
+  EXPECT_NE(log.find("ckpt_errors=2"), std::string::npos);
+  EXPECT_NE(log.find("feeds_quarantined=1"), std::string::npos);
   EXPECT_NE(log.find("frt_feed "), std::string::npos);
   EXPECT_NE(log.find("feed=alpha"), std::string::npos);
   EXPECT_NE(log.find("eps_remaining=7.2"), std::string::npos);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/function_ref.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/span.h"
@@ -354,6 +355,27 @@ TEST(SpanTest, MutableSpanWritesThrough) {
   Span<const int> sub(s.data() + 1, 2);
   EXPECT_EQ(sub.size(), 2u);
   EXPECT_EQ(sub[0], 20);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsTheWholeRange) {
+  ASSERT_TRUE(ParseLogLevel("0").has_value());
+  EXPECT_EQ(*ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(*ParseLogLevel("1"), LogLevel::kInfo);
+  EXPECT_EQ(*ParseLogLevel("2"), LogLevel::kWarning);
+  EXPECT_EQ(*ParseLogLevel("3"), LogLevel::kError);
+  EXPECT_EQ(*ParseLogLevel("4"), LogLevel::kOff);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsWhatAtoiSilentlyZeroed) {
+  // The regression this locks in: atoi("garbage") == 0 used to turn any
+  // malformed FRT_LOG_LEVEL into kDebug (the noisiest level). Every one
+  // of these must now be rejected so the caller keeps its default.
+  for (const char* bad : {"", "x", "1x", "x1", " 1", "1 ", "1.5", "-1",
+                          "5", "007x", "2147483648999", "--2", "+ 2"}) {
+    EXPECT_FALSE(ParseLogLevel(bad).has_value()) << "accepted: '" << bad
+                                                 << "'";
+  }
+  EXPECT_FALSE(ParseLogLevel(nullptr).has_value());
 }
 
 }  // namespace

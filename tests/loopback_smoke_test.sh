@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Loopback smoke of the distributed ingress tier (ISSUE 8).
+#
+# One frt_serve aggregator listens on a Unix socket and two frt_edge
+# processes stream framed trajectories into it. Edge A is clean; edge B
+# injects one corrupt payload byte (after the CRC was computed) into its
+# second trajectory frame, so the aggregator must:
+#
+#   - quarantine edge B's feed (per-feed quarantine report + exit 3),
+#   - publish edge A's feed completely and untouched,
+#   - record "frame_read" / "frame_decode" ingress spans in the trace.
+#
+# Usage: loopback_smoke_test.sh /path/to/frt_serve /path/to/frt_edge
+
+set -u
+
+SERVE="${1:?usage: loopback_smoke_test.sh /path/to/frt_serve /path/to/frt_edge}"
+EDGE="${2:?usage: loopback_smoke_test.sh /path/to/frt_serve /path/to/frt_edge}"
+PYTHON="${PYTHON:-python3}"
+HERE="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+TRACE_SUMMARY="$HERE/../tools/trace_summary.py"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/frt_loopback_XXXXXX")"
+SERVE_PID=""
+
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "---- serve.log ----" >&2
+  cat "$WORK/serve.log" >&2 2>/dev/null
+  echo "---- edge_a.log ----" >&2
+  cat "$WORK/edge_a.log" >&2 2>/dev/null
+  echo "---- edge_b.log ----" >&2
+  cat "$WORK/edge_b.log" >&2 2>/dev/null
+  exit 1
+}
+
+# Two single-feed CSVs: 8 trajectories of 6 points each, windows of 2.
+make_feed() {
+  awk -v feed="$1" 'BEGIN {
+    for (i = 0; i < 8; i++) {
+      x = 100 + (i * 113) % 900; y = 200 + (i * 211) % 700; t = 100 + i
+      for (j = 0; j < 6; j++) {
+        printf "%s,%d,%f,%f,%d\n", feed, i, x, y, t
+        x += 17 + j; y += 13 + j; t += 30
+      }
+    }
+  }'
+}
+make_feed alpha > "$WORK/a.csv"
+make_feed beta  > "$WORK/b.csv"
+
+SOCK="$WORK/agg.sock"
+FLAGS=(--window 2 --epsilon-global 0.5 --epsilon-local 0.5 --shards 2
+       --seed 17 --budget 100)
+
+# ---- Aggregator: 2 edge connections, trace armed. ----
+"$SERVE" --listen "unix:$SOCK" --listen-conns 2 --output "$WORK/merged.csv" \
+         --trace-out "$WORK/trace.json" "${FLAGS[@]}" \
+         2> "$WORK/serve.log" &
+SERVE_PID=$!
+
+for _ in $(seq 50); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCK" ]] || fail "aggregator never bound $SOCK"
+
+# ---- Edge A: clean run, must exit 0. ----
+"$EDGE" --feeds "$WORK/a.csv" --connect "unix:$SOCK" --hello edge-a \
+        "${FLAGS[@]}" 2> "$WORK/edge_a.log"
+EDGE_A_EXIT=$?
+[[ "$EDGE_A_EXIT" -eq 0 ]] || fail "clean edge exited $EDGE_A_EXIT, want 0"
+
+# ---- Edge B: corrupts its 2nd trajectory frame mid-stream. The
+# aggregator tears the connection down at the CRC mismatch; depending on
+# how much the kernel buffered, edge B sees the cut as a failed write
+# (exit 1) or not at all (exit 0) — both are fine, the aggregator's view
+# is what this test asserts. ----
+"$EDGE" --feeds "$WORK/b.csv" --connect "unix:$SOCK" --hello edge-b \
+        --inject-corrupt-frame 2 "${FLAGS[@]}" 2> "$WORK/edge_b.log"
+EDGE_B_EXIT=$?
+[[ "$EDGE_B_EXIT" -eq 0 || "$EDGE_B_EXIT" -eq 1 ]] \
+  || fail "corrupt edge exited $EDGE_B_EXIT, want 0 or 1"
+grep -q "injected corrupt payload byte" "$WORK/edge_b.log" \
+  || fail "edge B never injected its fault"
+
+wait "$SERVE_PID"
+SERVE_EXIT=$?
+SERVE_PID=""
+[[ "$SERVE_EXIT" -eq 3 ]] \
+  || fail "aggregator exited $SERVE_EXIT, want 3 (quarantine)"
+
+# ---- Quarantine is per-feed: beta named and cut off, alpha complete. ----
+grep -q "^quarantine: feed beta: .*CRC" "$WORK/serve.log" \
+  || fail "missing per-feed quarantine report for beta"
+grep -q "feed beta: .*\[quarantined\]" "$WORK/serve.log" \
+  || fail "beta's feed report line is not tagged [quarantined]"
+grep -q "1 feed(s) quarantined" "$WORK/serve.log" \
+  || fail "missing quarantine summary line"
+grep -q "quarantine" "$WORK/edge_a.log" \
+  && fail "clean edge A mentions quarantine"
+# Alpha: all 8 trajectories in 4 windows of 2 (the anonymizer rewrites
+# points, so assert at the window/trajectory level, not line counts).
+grep -q "feed alpha: 4 windows published (8 trajs)" "$WORK/serve.log" \
+  || fail "alpha did not publish its full 4 windows"
+# Beta's corrupt frame was its 2nd: one trajectory arrived pre-fault,
+# never enough to close a window of 2, so nothing of beta publishes.
+grep -q "feed beta: 0 windows published (0 trajs)" "$WORK/serve.log" \
+  || fail "quarantined beta still published windows"
+ALPHA_LINES=$(grep -c "^alpha," "$WORK/merged.csv")
+BETA_LINES=$(grep -c "^beta," "$WORK/merged.csv" || true)
+[[ "$ALPHA_LINES" -gt 0 ]] || fail "no alpha output in merged.csv"
+[[ "$BETA_LINES" -eq 0 ]] \
+  || fail "beta wrote $BETA_LINES merged lines after its quarantine"
+
+# ---- Ingress spans made it into the trace. ----
+"$PYTHON" "$TRACE_SUMMARY" "$WORK/trace.json" \
+    --require frame_read,frame_decode \
+  || fail "trace is missing ingress spans"
+
+echo "PASS: loopback smoke (quarantine contained to beta; alpha complete)"

@@ -168,5 +168,67 @@ INSTANTIATE_TEST_SUITE_P(AccountingModes, ServiceIsolationTest,
                          ::testing::Values(BudgetAccounting::kWholesale,
                                            BudgetAccounting::kPerObject));
 
+TEST_P(ServiceIsolationTest, QuarantinedFeedNeverTouchesOtherFeeds) {
+  // The ingress tier quarantining one feed mid-stream (corrupt frame on
+  // its connection) is a fault, not a budget event — but the isolation
+  // contract is the same: every sibling's published bytes must stay
+  // bit-identical to a solo run. The quarantined feed's output simply
+  // stops at the fault.
+  const BudgetAccounting accounting = GetParam();
+  const Feeds feeds = MakeFeeds(/*victims=*/3, /*arrivals_per_feed=*/30);
+
+  std::vector<std::unique_ptr<ServiceCapture>> solo;
+  for (const size_t f : {1, 2, 3}) {
+    solo.push_back(RunService(feeds, {f}, accounting, 2));
+  }
+
+  auto capture = std::make_unique<ServiceCapture>();
+  ServiceDispatcher service(IsolationConfig(accounting),
+                            capture->MakeSink());
+  ASSERT_TRUE(service.Start(kSeed).ok());
+  // Round-robin arrivals; the hog's stream is declared untrusted after
+  // half its arrivals landed (some already published, some in backlog).
+  const size_t n = feeds.arrivals[0].size();
+  for (size_t i = 0; i < n; ++i) {
+    for (const size_t f : {0, 1, 2, 3}) {
+      if (f == 0 && i >= n / 2) continue;  // connection torn down
+      ASSERT_TRUE(service.Offer(feeds.names[f], feeds.arrivals[f][i]));
+    }
+    if (i == n / 2) {
+      ASSERT_TRUE(service.OfferQuarantine("hog", "frame CRC mismatch"));
+    }
+  }
+  ASSERT_TRUE(service.Finish().ok());
+
+  const ServiceReport& report = service.report();
+  EXPECT_EQ(report.feeds_quarantined, 1u);
+  for (size_t v = 0; v < 3; ++v) {
+    const std::string& name = feeds.names[v + 1];
+    const ServiceCapture::Feed& solo_feed = solo[v]->feeds.at(name);
+    ASSERT_TRUE(capture->feeds.count(name) > 0)
+        << name << " vanished when a sibling was quarantined";
+    EXPECT_TRUE(
+        ServiceCapture::FeedsEqual(solo_feed, capture->feeds.at(name)))
+        << "feed " << name
+        << " is not bit-identical to its solo run after a sibling "
+           "quarantine";
+  }
+  // The hog's published prefix (before the fault) must itself be a prefix
+  // of ITS solo run — quarantine truncates, never perturbs.
+  const auto hog_solo = RunService(feeds, {0}, accounting, 2);
+  const ServiceCapture::Feed& hog_solo_feed = hog_solo->feeds.at("hog");
+  if (capture->feeds.count("hog") > 0) {
+    const ServiceCapture::Feed& hog_multi = capture->feeds.at("hog");
+    ASSERT_LE(hog_multi.window_ids.size(), hog_solo_feed.window_ids.size());
+    for (size_t w = 0; w < hog_multi.window_ids.size(); ++w) {
+      EXPECT_EQ(hog_multi.window_ids[w], hog_solo_feed.window_ids[w]);
+    }
+    ASSERT_LE(hog_multi.points.size(), hog_solo_feed.points.size());
+    for (size_t t = 0; t < hog_multi.points.size(); ++t) {
+      EXPECT_EQ(hog_multi.points[t], hog_solo_feed.points[t]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace frt

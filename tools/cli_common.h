@@ -536,6 +536,63 @@ inline const char* ObservabilityUsageText() {
       "                       histogram line per stage per interval\n";
 }
 
+// ---- Transport flags (frt_serve --listen, frt_edge --connect) ----
+
+/// Raw values of the network-transport flags shared by the ingress tier.
+struct TransportArgs {
+  /// Listen endpoint ("unix:PATH" or "tcp:HOST:PORT"); empty = no network
+  /// ingress.
+  std::string listen;
+  /// Upstream endpoint an edge forwards to; empty = local output only.
+  std::string connect;
+  /// With --listen: stop after this many edge connections have drained
+  /// (0 = serve until interrupted).
+  uint64_t listen_conns = 0;
+};
+
+/// \brief Tries to consume argv[*i] as one of the transport flags.
+inline FlagParse ParseTransportFlag(int argc, char** argv, int* i,
+                                    TransportArgs* args) {
+  const char* flag = argv[*i];
+  auto next = [&]() -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  const char* v = nullptr;
+  if (std::strcmp(flag, "--listen") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->listen = v;
+  } else if (std::strcmp(flag, "--connect") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->connect = v;
+  } else if (std::strcmp(flag, "--listen-conns") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    if (!ParseFlagUint64(flag, v, &args->listen_conns)) {
+      return FlagParse::kError;
+    }
+  } else {
+    return FlagParse::kNotMine;
+  }
+  return FlagParse::kConsumed;
+}
+
+/// Usage text of the transport flags.
+inline const char* TransportUsageText() {
+  return
+      "  --listen EP          accept framed edge connections on EP\n"
+      "                       (unix:PATH or tcp:HOST:PORT) instead of "
+      "reading\n"
+      "                       a local file (default: off)\n"
+      "  --listen-conns N     with --listen: finish after N edge "
+      "connections\n"
+      "                       have drained (default 0 = until SIGINT)\n"
+      "  --connect EP         forward anonymized windows upstream to the\n"
+      "                       aggregator at EP instead of writing locally\n";
+}
+
 }  // namespace frt::cli
 
 #endif  // FRT_TOOLS_CLI_COMMON_H_

@@ -7,6 +7,17 @@
 //
 //   frt_serve --feeds feeds.csv --output-dir out/       # feed,traj_id,x,y,t
 //   frt_serve --input city_a.csv --input b=taxi_b.csv --output -
+//   frt_serve --listen unix:/tmp/frt.sock --listen-conns 2 --output -
+//
+// With --listen the service becomes the aggregator of the distributed
+// ingress tier (src/net): frt_edge processes connect over a Unix or TCP
+// socket and stream framed trajectories in. Backpressure is the
+// dispatcher's bounded arrival queue — a slow aggregator blocks the
+// reader, fills the kernel buffers, and stalls the edge's writes. A
+// malformed or corrupt frame quarantines the feeds on that connection
+// (their output stops at the fault; exit code 3) without disturbing any
+// other feed. --listen-conns N exits cleanly after N edge streams end;
+// otherwise stop ingest with SIGINT/SIGTERM and the service drains.
 //
 // Each feed gets its own session: its own window assembler, its own
 // wholesale/per-object budget ledgers, and its own deterministic RNG
@@ -45,15 +56,19 @@
 // feed (ingress stops, already-closed windows drain, clean exit).
 //
 // Exit codes: 0 = every window of every feed published; 3 = completed but
-// at least one feed had a window refused (or object evicted) on budget;
-// 1 = runtime error; 2 = usage error.
+// at least one feed had a window refused (or object evicted) on budget,
+// or was quarantined on a malformed stream; 1 = runtime error; 2 = usage
+// error.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -61,6 +76,8 @@
 
 #include "cli_common.h"
 #include "frt.h"
+#include "net/ingress.h"
+#include "net/socket.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "service/dispatcher.h"
@@ -81,12 +98,24 @@ struct Args {
   frt::cli::PipelineArgs pipeline;
   frt::cli::DurabilityArgs durability;
   frt::cli::ObservabilityArgs obs;
+  frt::cli::TransportArgs transport;
 };
+
+/// The ingress server a SIGINT/SIGTERM should stop (Stop() is one atomic
+/// store plus a shutdown(2) — both async-signal-safe).
+std::atomic<frt::net::IngressServer*> g_ingress{nullptr};
+
+void StopIngressOnSignal(int) {
+  if (frt::net::IngressServer* ingress =
+          g_ingress.load(std::memory_order_acquire)) {
+    ingress->Stop();
+  }
+}
 
 void Usage(const char* prog) {
   std::fprintf(
       stderr,
-      "usage: %s (--feeds FILE|- | --input [NAME=]FILE ...)\n"
+      "usage: %s (--feeds FILE|- | --input [NAME=]FILE ... | --listen EP)\n"
       "          (--output FILE|- | --output-dir DIR) [options]\n"
       "  --feeds FILE|-       interleaved multi-feed CSV "
       "(feed,traj_id,x,y,t)\n"
@@ -101,9 +130,10 @@ void Usage(const char* prog) {
       "max(2, cores))\n"
       "  --max-in-flight N    concurrent window jobs across feeds "
       "(default 0 = 2x pool)\n"
-      "%s%s%s%s",
-      prog, frt::cli::DurabilityUsageText(), frt::cli::ObservabilityUsageText(),
-      frt::cli::StreamUsageText(), frt::cli::PipelineUsageText());
+      "%s%s%s%s%s",
+      prog, frt::cli::TransportUsageText(), frt::cli::DurabilityUsageText(),
+      frt::cli::ObservabilityUsageText(), frt::cli::StreamUsageText(),
+      frt::cli::PipelineUsageText());
 }
 
 std::string FeedNameFromPath(const std::string& path) {
@@ -142,6 +172,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         break;
     }
     switch (frt::cli::ParseObservabilityFlag(argc, argv, &i, &args->obs)) {
+      case frt::cli::FlagParse::kConsumed:
+        continue;
+      case frt::cli::FlagParse::kError:
+        return false;
+      case frt::cli::FlagParse::kNotMine:
+        break;
+    }
+    switch (frt::cli::ParseTransportFlag(argc, argv, &i, &args->transport)) {
       case frt::cli::FlagParse::kConsumed:
         continue;
       case frt::cli::FlagParse::kError:
@@ -201,10 +239,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->feeds.empty() == args->inputs.empty()) {
+  if (!args->transport.connect.empty()) {
+    // Serve is the aggregator end of the transport; edges connect to it.
     std::fprintf(stderr,
-                 "exactly one of --feeds or --input (repeatable) is "
-                 "required\n");
+                 "frt_serve does not take --connect (use frt_edge to "
+                 "forward into a serving aggregator)\n");
+    return false;
+  }
+  const int sources = (args->feeds.empty() ? 0 : 1) +
+                      (args->inputs.empty() ? 0 : 1) +
+                      (args->transport.listen.empty() ? 0 : 1);
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "exactly one of --feeds, --input (repeatable), or "
+                 "--listen is required\n");
     return false;
   }
   if (args->output.empty() == args->output_dir.empty()) {
@@ -292,6 +340,9 @@ frt::Status IngestMultiFeedCsv(std::istream& in,
 
 int main(int argc, char** argv) {
   std::ios::sync_with_stdio(false);
+  // A peer vanishing mid-write must surface as an I/O error on that one
+  // connection, never a process-wide SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
     Usage(argv[0]);
@@ -301,6 +352,19 @@ int main(int argc, char** argv) {
   if (!frt::cli::MakePipelineConfig(args.pipeline, &pipeline_config)) {
     Usage(argv[0]);
     return 2;
+  }
+  // Resolve the listen endpoint before anything heavyweight starts so a
+  // bad --listen is a usage error, not a mid-run failure.
+  std::optional<frt::net::Endpoint> listen_endpoint;
+  if (!args.transport.listen.empty()) {
+    auto endpoint = frt::net::ParseEndpoint(args.transport.listen);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   endpoint.status().ToString().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    listen_endpoint = *std::move(endpoint);
   }
   frt::ServiceConfig config;
   if (!frt::cli::MakeStreamConfig(args.stream, args.pipeline,
@@ -413,7 +477,44 @@ int main(int argc, char** argv) {
 
   // ---- Ingest. ----
   frt::Status ingest_status = frt::Status::OK();
-  if (!args.feeds.empty()) {
+  if (listen_endpoint.has_value()) {
+    frt::net::IngressServer::Options ingress_options;
+    ingress_options.endpoint = *listen_endpoint;
+    ingress_options.max_connections =
+        static_cast<size_t>(args.transport.listen_conns);
+    frt::net::IngressServer ingress(
+        ingress_options,
+        [&service](std::string feed, frt::Trajectory t) {
+          return service.Offer(std::move(feed), std::move(t));
+        },
+        [&service](const std::string& feed, const std::string& reason) {
+          service.OfferQuarantine(feed, reason);
+        });
+    if (auto st = ingress.Start(); !st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serve: listening on %s%s\n",
+                 args.transport.listen.c_str(),
+                 args.transport.listen_conns > 0
+                     ? ""
+                     : " (stop with SIGINT/SIGTERM)");
+    g_ingress.store(&ingress, std::memory_order_release);
+    std::signal(SIGINT, StopIngressOnSignal);
+    std::signal(SIGTERM, StopIngressOnSignal);
+    ingress.Wait();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_ingress.store(nullptr, std::memory_order_release);
+    const frt::net::IngressServer::Stats& stats = ingress.stats();
+    std::fprintf(stderr,
+                 "ingress: %llu connection(s), %llu frame(s), %llu "
+                 "trajectories, %llu quarantine event(s)\n",
+                 static_cast<unsigned long long>(stats.connections),
+                 static_cast<unsigned long long>(stats.frames),
+                 static_cast<unsigned long long>(stats.trajectories),
+                 static_cast<unsigned long long>(stats.quarantine_events));
+  } else if (!args.feeds.empty()) {
     std::ifstream feeds_file;
     if (args.feeds != "-") {
       feeds_file.open(args.feeds);
@@ -503,7 +604,15 @@ int main(int argc, char** argv) {
                  feed.close_wait_p50_ms, feed.close_wait_p99_ms,
                  feed.close_wait_max_ms, feed.publish_p50_ms,
                  feed.publish_p99_ms, feed.publish_max_ms,
-                 feed.evicted ? " [idle-evicted]" : "");
+                 feed.quarantined
+                     ? " [quarantined]"
+                     : (feed.evicted ? " [idle-evicted]" : ""));
+  }
+  for (const frt::FeedReport& feed : report.feeds_report) {
+    if (feed.quarantined) {
+      std::fprintf(stderr, "quarantine: feed %s: %s\n", feed.feed.c_str(),
+                   feed.quarantine_reason.c_str());
+    }
   }
   std::fprintf(
       stderr,
@@ -528,6 +637,14 @@ int main(int argc, char** argv) {
         report.checkpoints_written,
         static_cast<unsigned long long>(report.checkpoint_sequence));
   }
+  int exit_code = 0;
+  if (report.feeds_quarantined > 0) {
+    std::fprintf(stderr,
+                 "%zu feed(s) quarantined: their streams were cut off at "
+                 "the fault; every other feed published normally\n",
+                 report.feeds_quarantined);
+    exit_code = 3;
+  }
   if (frt::ServiceHadRefusals(report)) {
     std::fprintf(stderr,
                  "budget exhausted on at least one feed: %zu window(s) / "
@@ -535,7 +652,7 @@ int main(int argc, char** argv) {
                  "or lower the per-window epsilons\n",
                  report.windows_refused, report.trajectories_refused,
                  report.trajectories_evicted);
-    return 3;
+    exit_code = 3;
   }
-  return 0;
+  return exit_code;
 }
