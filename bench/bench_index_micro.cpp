@@ -1,5 +1,6 @@
 // Index micro-benchmarks (google-benchmark): build, query, and update costs
-// of the segment indexes backing Fig. 5's end-to-end numbers.
+// of the segment indexes backing Fig. 5's end-to-end numbers, the batched
+// SoA kernel A/B, and the shared-index reader-scaling study.
 
 #include <benchmark/benchmark.h>
 
@@ -156,6 +157,83 @@ void BM_IndexUpdate(benchmark::State& state) {
   state.SetLabel(std::string(SearchStrategyName(strategy)));
 }
 
+// Batched SoA sweep vs scalar reference on HG+, warm context. range(0)
+// selects the kernel; the dist_evals_per_query counters of the two
+// variants must be EQUAL (bit-identity contract) — asserted in CI.
+void BM_IndexKnnBatched(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto segments = RandomSegments(
+      static_cast<size_t>(state.range(1)), 2);
+  auto index = MakeSegmentIndex(SearchStrategy::kBottomUpDown, MicroGrid());
+  (void)index->Build(segments);
+  Rng rng(3);
+  SearchOptions options;
+  options.k = 8;
+  options.use_batched_kernel = batched;
+  SearchContext ctx;
+  const uint64_t evals_before = index->distance_evaluations();
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, kRegion), rng.Uniform(0, kRegion)};
+    benchmark::DoNotOptimize(index->KNearest(q, options, &ctx));
+  }
+  state.SetLabel(batched ? "HG+/batched" : "HG+/scalar");
+  state.counters["dist_evals_per_query"] = benchmark::Counter(
+      static_cast<double>(index->distance_evaluations() - evals_before) /
+      static_cast<double>(state.iterations()));
+}
+
+// Reader scaling: N threads query ONE shared 100k-segment HG+ index
+// concurrently, each through its own SearchContext (the documented
+// contract). Aggregate items/s across 1/2/4/8 readers is the scaling
+// curve; on a multi-core host 4 readers should deliver >= 3x the
+// 1-reader aggregate.
+void BM_IndexKnnSharedReaders(benchmark::State& state) {
+  static const SegmentIndex* shared = [] {
+    auto index =
+        MakeSegmentIndex(SearchStrategy::kBottomUpDown, MicroGrid());
+    const auto segments = RandomSegments(100000, 2);
+    (void)index->Build(segments);
+    return index.release();
+  }();
+  Rng rng(300 + static_cast<uint64_t>(state.thread_index()));
+  SearchOptions options;
+  options.k = 8;
+  SearchContext ctx;
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, kRegion), rng.Uniform(0, kRegion)};
+    benchmark::DoNotOptimize(shared->KNearest(q, options, &ctx));
+  }
+  state.SetLabel("HG+/shared");
+  state.SetItemsProcessed(state.iterations());
+  // kAvgThreads: gbench sums plain counters across threads; the whole
+  // point of this variant is that ONE build serves every reader.
+  state.counters["index_builds"] =
+      benchmark::Counter(1.0, benchmark::Counter::kAvgThreads);
+}
+
+// The A/B baseline: every reader builds its own private copy of the same
+// index (the pre-shared-index world: one rebuild per worker). The build
+// happens per thread before the timed loop; query throughput should match
+// the shared variant — concurrent reads of one index cost nothing — while
+// index_builds counts the duplicated build work.
+void BM_IndexKnnPrivateReaders(benchmark::State& state) {
+  const auto segments = RandomSegments(100000, 2);
+  auto index = MakeSegmentIndex(SearchStrategy::kBottomUpDown, MicroGrid());
+  (void)index->Build(segments);
+  Rng rng(300 + static_cast<uint64_t>(state.thread_index()));
+  SearchOptions options;
+  options.k = 8;
+  SearchContext ctx;
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, kRegion), rng.Uniform(0, kRegion)};
+    benchmark::DoNotOptimize(index->KNearest(q, options, &ctx));
+  }
+  state.SetLabel("HG+/private");
+  state.SetItemsProcessed(state.iterations());
+  state.counters["index_builds"] = benchmark::Counter(
+      static_cast<double>(state.threads()), benchmark::Counter::kAvgThreads);
+}
+
 void StrategySizes(benchmark::internal::Benchmark* b) {
   for (int strategy = 0; strategy < 5; ++strategy) {
     for (const int64_t size : {20000, 100000}) {
@@ -173,6 +251,20 @@ BENCHMARK(BM_IndexKnnSegmentsCtx)->Apply(StrategySizes)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_IndexKnnTrajectories)->Apply(StrategySizes)
     ->Unit(benchmark::kMicrosecond);
+// Iterations are pinned so the batched and scalar variants replay the
+// EXACT same query stream: their dist_evals_per_query counters must then
+// match to the last digit (asserted in CI).
+BENCHMARK(BM_IndexKnnBatched)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const int64_t batched : {1, 0}) {
+    for (const int64_t size : {20000, 100000}) b->Args({batched, size});
+  }
+})->Iterations(3000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexKnnSharedReaders)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_IndexKnnPrivateReaders)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
 BENCHMARK(BM_IndexBulkBuild)->Apply([](benchmark::internal::Benchmark* b) {
   for (int strategy = 0; strategy < 5; ++strategy) b->Args({strategy, 20000});
 })->Unit(benchmark::kMillisecond);

@@ -45,6 +45,7 @@
 // Batch runtime (sharded execution)
 #include "runtime/batch_runner.h"
 #include "runtime/shard_plan.h"
+#include "runtime/window_audit.h"
 #include "runtime/work_stealing_pool.h"
 
 // Streaming runtime (windowed ingest-to-publish service)

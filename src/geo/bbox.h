@@ -76,12 +76,19 @@ struct BBox {
   }
 };
 
+/// \brief Squared MINdist(q, g) — the sqrt-free form the search pruning
+/// rules compare against squared candidate distances (Theorem 4 holds in
+/// squared space because sqrt is monotone).
+inline double MinDist2PointBBox(const Point& q, const BBox& g) {
+  const double dx = std::max({g.min_x - q.x, 0.0, q.x - g.max_x});
+  const double dy = std::max({g.min_y - q.y, 0.0, q.y - g.max_y});
+  return dx * dx + dy * dy;
+}
+
 /// \brief MINdist(q, g): 0 when q is inside g, otherwise the distance to the
 /// closest edge of the rectangle — paper Definition 12 / Equation (4).
 inline double MinDistPointBBox(const Point& q, const BBox& g) {
-  const double dx = std::max({g.min_x - q.x, 0.0, q.x - g.max_x});
-  const double dy = std::max({g.min_y - q.y, 0.0, q.y - g.max_y});
-  return std::sqrt(dx * dx + dy * dy);
+  return std::sqrt(MinDist2PointBBox(q, g));
 }
 
 }  // namespace frt

@@ -1,9 +1,13 @@
 // Result collectors shared by all search strategies.
 //
-// A collector receives candidate (segment, distance) pairs in arbitrary
-// order, maintains the current best-K according to the grouping mode, and
-// exposes the pruning threshold theta_K (paper Theorem 4): once K results
-// are held, any cell with MINdist > theta_K can be skipped safely.
+// A collector receives candidate (segment, squared distance) pairs in
+// arbitrary order, maintains the current best-K according to the grouping
+// mode, and exposes the squared pruning threshold theta_K² (paper
+// Theorem 4): once K results are held, any cell with MINdist² > theta_K²
+// can be skipped safely. All comparisons happen in squared space — sqrt is
+// monotone, so the kept set and every pruning decision are identical to
+// the plain-distance formulation — and the square root is taken exactly
+// once per emitted result, in Finalize.
 //
 // The collector is a reusable scratch object (it lives inside a
 // SearchContext): Reset() rearms it for a new query while keeping every
@@ -15,6 +19,7 @@
 #define FRT_INDEX_COLLECTOR_H_
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -22,7 +27,8 @@
 
 namespace frt {
 
-/// \brief Best-K accumulator, reusable across KNearest calls.
+/// \brief Best-K accumulator over squared distances, reusable across
+/// KNearest calls.
 class ResultCollector {
  public:
   ResultCollector() = default;
@@ -34,7 +40,7 @@ class ResultCollector {
     group_by_ = group_by;
     heap_.clear();
     items_.clear();
-    traj_threshold_ = std::numeric_limits<double>::infinity();
+    traj_threshold2_ = std::numeric_limits<double>::infinity();
     traj_dirty_ = true;
     if (++epoch_ == 0) {
       // Epoch wrap (once per 2^32 queries): forget all stale stamps.
@@ -43,27 +49,39 @@ class ResultCollector {
     }
   }
 
-  /// Offers a candidate. The caller has already applied the filter.
-  /// `entry` must stay valid until Finalize (it points into the index).
-  void Offer(const SegmentEntry& entry, double dist) {
+  /// Offers a candidate at squared distance `dist2`. The caller has
+  /// already applied the filter. `entry` must stay valid until Finalize
+  /// (it points into the index).
+  void Offer(const SegmentEntry& entry, double dist2) {
     if (k_ == 0) return;
     if (group_by_ == GroupBy::kSegment) {
       if (heap_.size() < k_) {
-        heap_.push_back(Item{dist, &entry});
+        heap_.push_back(Item{dist2, &entry});
         std::push_heap(heap_.begin(), heap_.end(), WorstFirst{});
-      } else if (dist < heap_.front().dist) {
+      } else if (dist2 < heap_.front().dist2) {
         std::pop_heap(heap_.begin(), heap_.end(), WorstFirst{});
-        heap_.back() = Item{dist, &entry};
+        heap_.back() = Item{dist2, &entry};
         std::push_heap(heap_.begin(), heap_.end(), WorstFirst{});
       }
       return;
     }
     // Trajectory mode: keep each trajectory's best segment.
     Item& best = BestOf(entry.traj);
-    if (best.entry == nullptr || dist < best.dist) {
-      best = Item{dist, &entry};
+    if (best.entry == nullptr || dist2 < best.dist2) {
+      best = Item{dist2, &entry};
       traj_dirty_ = true;
     }
+  }
+
+  /// Consumes one batched-kernel output: entries [0, n) of `entries` with
+  /// their squared distances in `dist2` (the lane buffer of a
+  /// PointSegmentDistance2Batch sweep). Offer order is ascending index, so
+  /// tie behaviour matches the scalar per-entry loop exactly. Only valid
+  /// when no filter applies (filtered searches interleave the filter with
+  /// per-entry Offers).
+  void OfferBatch(const SegmentEntry* entries, const double* dist2,
+                  size_t n) {
+    for (size_t i = 0; i < n; ++i) Offer(entries[i], dist2[i]);
   }
 
   /// True when K results are held (threshold is meaningful).
@@ -72,16 +90,18 @@ class ResultCollector {
                                           : items_.size() >= k_;
   }
 
-  /// theta_K: the K-th best distance; +inf while not Full.
-  double Threshold() const {
+  /// theta_K²: the K-th best squared distance; +inf while not Full.
+  /// Compare against squared bounds (MinDist2PointBBox) only.
+  double Threshold2() const {
     if (!Full()) return std::numeric_limits<double>::infinity();
-    if (group_by_ == GroupBy::kSegment) return heap_.front().dist;
+    if (group_by_ == GroupBy::kSegment) return heap_.front().dist2;
     RefreshTrajThreshold();
-    return traj_threshold_;
+    return traj_threshold2_;
   }
 
   /// Writes the sorted ascending-by-distance final results into `out`
-  /// (cleared first; capacity reused across queries).
+  /// (cleared first; capacity reused across queries). This is the one
+  /// place distances leave squared space.
   void Finalize(std::vector<Neighbor>* out) {
     out->clear();
     std::vector<Item>& held =
@@ -89,24 +109,24 @@ class ResultCollector {
     // The heap property is irrelevant from here on: sort the underlying
     // storage directly instead of draining a copy of the queue.
     std::sort(held.begin(), held.end(), [](const Item& a, const Item& b) {
-      if (a.dist != b.dist) return a.dist < b.dist;
+      if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
       return a.entry->handle < b.entry->handle;  // deterministic ties
     });
     const size_t n = std::min(k_, held.size());
     out->reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      out->push_back(Neighbor{*held[i].entry, held[i].dist});
+      out->push_back(Neighbor{*held[i].entry, std::sqrt(held[i].dist2)});
     }
   }
 
  private:
   struct Item {
-    double dist = 0.0;
+    double dist2 = 0.0;
     const SegmentEntry* entry = nullptr;
   };
   struct WorstFirst {
     bool operator()(const Item& a, const Item& b) const {
-      return a.dist < b.dist;  // max-heap on distance
+      return a.dist2 < b.dist2;  // max-heap on squared distance
     }
   };
   /// Open-addressing slot of the trajectory->best table. A slot is live for
@@ -180,16 +200,16 @@ class ResultCollector {
     // evaluations.
     scratch_.clear();
     scratch_.reserve(items_.size());
-    for (const Item& item : items_) scratch_.push_back(item.dist);
+    for (const Item& item : items_) scratch_.push_back(item.dist2);
     std::nth_element(scratch_.begin(), scratch_.begin() + (k_ - 1),
                      scratch_.end());
-    traj_threshold_ = scratch_[k_ - 1];
+    traj_threshold2_ = scratch_[k_ - 1];
     traj_dirty_ = false;
   }
 
   size_t k_ = 0;
   GroupBy group_by_ = GroupBy::kSegment;
-  // kSegment state: max-heap on distance over the best-K items.
+  // kSegment state: max-heap on squared distance over the best-K items.
   std::vector<Item> heap_;
   // kTrajectory state: per-trajectory best items + epoch-stamped
   // open-addressing lookup table (power-of-two size).
@@ -197,7 +217,8 @@ class ResultCollector {
   std::vector<TrajSlot> table_;
   uint32_t epoch_ = 0;
   mutable std::vector<double> scratch_;
-  mutable double traj_threshold_ = std::numeric_limits<double>::infinity();
+  mutable double traj_threshold2_ =
+      std::numeric_limits<double>::infinity();
   mutable bool traj_dirty_ = true;
 };
 

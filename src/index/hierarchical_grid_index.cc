@@ -22,8 +22,10 @@ uint32_t HierarchicalGridIndex::AllocCell(const CellCoord& coord) {
   if (free_head_ != kNil) {
     slot = free_head_;
     free_head_ = arena_[slot].parent;
+    --free_slots_;
     arena_[slot].children.clear();
     arena_[slot].segments.clear();
+    arena_[slot].geom.clear();
   } else {
     slot = static_cast<uint32_t>(arena_.size());
     arena_.emplace_back();
@@ -83,6 +85,7 @@ void HierarchicalGridIndex::MaybePrune(uint32_t slot) {
   slot_of_coord_.erase(cell.coord.Key());
   cell.parent = free_head_;
   free_head_ = slot;
+  ++free_slots_;
 }
 
 Status HierarchicalGridIndex::InsertImpl(const SegmentEntry& entry) {
@@ -93,6 +96,7 @@ Status HierarchicalGridIndex::InsertImpl(const SegmentEntry& entry) {
   const CellCoord coord = grid_.BestFitCell(entry.geom.a, entry.geom.b);
   const uint32_t slot = GetOrCreateCell(coord);
   arena_[slot].segments.push_back(entry);
+  arena_[slot].geom.PushBack(entry.geom);
   it->second = slot;
   return Status::OK();
 }
@@ -125,11 +129,46 @@ Status HierarchicalGridIndex::Remove(SegmentHandle handle) {
                           [handle](const SegmentEntry& e) {
                             return e.handle == handle;
                           });
+  arena_[slot].geom.SwapRemove(static_cast<size_t>(sit - segs.begin()));
   *sit = segs.back();
   segs.pop_back();
   cell_of_.erase(it);
   MaybePrune(slot);
   return Status::OK();
+}
+
+size_t HierarchicalGridIndex::Compact() {
+  if (free_head_ == kNil) return 0;
+
+  // Mark free-listed slots, then renumber the live ones in slot order —
+  // relative order (and every child vector's order) is preserved, so
+  // traversal order and distance-evaluation counts are unchanged.
+  std::vector<char> dead(arena_.size(), 0);
+  for (uint32_t s = free_head_; s != kNil; s = arena_[s].parent) dead[s] = 1;
+  std::vector<uint32_t> remap(arena_.size(), kNil);
+  uint32_t next = 0;
+  for (uint32_t s = 0; s < arena_.size(); ++s) {
+    if (!dead[s]) remap[s] = next++;
+  }
+  const size_t reclaimed = arena_.size() - next;
+
+  std::vector<HgCell> packed;
+  packed.reserve(next);
+  for (uint32_t s = 0; s < arena_.size(); ++s) {
+    if (dead[s]) continue;
+    packed.push_back(std::move(arena_[s]));
+    HgCell& cell = packed.back();
+    if (cell.parent != kNil) cell.parent = remap[cell.parent];
+    for (uint32_t& child : cell.children) child = remap[child];
+  }
+  arena_ = std::move(packed);
+  for (auto& [key, slot] : slot_of_coord_) slot = remap[slot];
+  for (auto& [handle, slot] : cell_of_) slot = remap[slot];
+  root_ = remap[root_];
+  free_head_ = kNil;
+  free_slots_ = 0;
+  ++compactions_;
+  return reclaimed;
 }
 
 Span<const SegmentEntry> HierarchicalGridIndex::CellSegments(
@@ -155,14 +194,44 @@ uint32_t HierarchicalGridIndex::LocateStart(const Point& q) const {
   }
 }
 
-uint32_t HierarchicalGridIndex::BeginSearch() const {
-  if (++cur_epoch_ == 0) {
-    // Wrap after 2^32 searches: stale stamps could collide with future
-    // epochs, so reset every slot (free-listed ones included).
-    for (HgCell& cell : arena_) cell.epoch = 0;
-    cur_epoch_ = 1;
+uint64_t HierarchicalGridIndex::SweepCell(const HgCell& cell, const Point& q,
+                                          const SearchOptions& options,
+                                          SearchContext* ctx) const {
+  const std::vector<SegmentEntry>& segs = cell.segments;
+  const size_t n = segs.size();
+  if (n == 0) return 0;
+
+  if (options.use_batched_kernel) {
+    // One kernel sweep over the cell's SoA blocks, then offer in entry
+    // order — the same order (and the same doubles) as the scalar loop.
+    // Filtered-out lanes have their distances computed (the sweep is
+    // branch-free) but are neither offered nor counted, matching the
+    // scalar path's distance_evaluations exactly.
+    double* d2 = ctx->Dist2Lanes(n);
+    for (size_t b = 0; b < cell.geom.num_blocks(); ++b) {
+      PointSegmentDistance2Batch(q, cell.geom.block(b),
+                                 d2 + b * kDistLanes);
+    }
+    if (!options.filter) {
+      ctx->collector.OfferBatch(segs.data(), d2, n);
+      return n;
+    }
+    uint64_t evals = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!options.filter(segs[i])) continue;
+      ++evals;
+      ctx->collector.Offer(segs[i], d2[i]);
+    }
+    return evals;
   }
-  return cur_epoch_;
+
+  uint64_t evals = 0;
+  for (const SegmentEntry& e : segs) {
+    if (options.filter && !options.filter(e)) continue;
+    ++evals;
+    ctx->collector.Offer(e, PointSegmentDistance2(q, e.geom));
+  }
+  return evals;
 }
 
 Span<const Neighbor> HierarchicalGridIndex::KNearest(
@@ -189,32 +258,30 @@ Span<const Neighbor> HierarchicalGridIndex::KNearest(
 void HierarchicalGridIndex::SearchTopDown(const Point& q,
                                           const SearchOptions& options,
                                           SearchContext* ctx) const {
-  // Classic best-first descent: binary heap on MINdist from the root.
+  // Classic best-first descent: binary heap on MINdist² from the root.
   ResultCollector& collector = ctx->collector;
   std::vector<CellCandidate>& heap = ctx->heap;
   heap.clear();
   heap.push_back({0.0, root_});
+  uint64_t evals = 0;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), CellCandidateGreater{});
     const CellCandidate cand = heap.back();
     heap.pop_back();
     // Heap order makes this exact: nothing left can beat theta_K
     // (Theorem 4).
-    if (collector.Full() && cand.mindist > collector.Threshold()) break;
+    if (collector.Full() && cand.mindist2 > collector.Threshold2()) break;
     const HgCell& cell = arena_[cand.slot];
-    for (const SegmentEntry& e : cell.segments) {
-      if (options.filter && !options.filter(e)) continue;
-      ++dist_evals_;
-      collector.Offer(e, PointSegmentDistance(q, e.geom));
-    }
+    evals += SweepCell(cell, q, options, ctx);
     for (const uint32_t child : cell.children) {
-      const double child_dist =
-          MinDistPointBBox(q, grid_.CellBox(arena_[child].coord));
-      if (collector.Full() && child_dist > collector.Threshold()) continue;
-      heap.push_back({child_dist, child});
+      const double child_dist2 =
+          MinDist2PointBBox(q, grid_.CellBox(arena_[child].coord));
+      if (collector.Full() && child_dist2 > collector.Threshold2()) continue;
+      heap.push_back({child_dist2, child});
       std::push_heap(heap.begin(), heap.end(), CellCandidateGreater{});
     }
   }
+  dist_evals_.fetch_add(evals, std::memory_order_relaxed);
 }
 
 void HierarchicalGridIndex::SearchBottomUp(const Point& q,
@@ -227,7 +294,7 @@ void HierarchicalGridIndex::SearchBottomUp(const Point& q,
   // early. Every ancestor of the start cell contains q, so parents are
   // pushed with MINdist 0 and are never pruned — the ascent always reaches
   // the root. Phase 2 ("top-down"): once the root is reached, remaining
-  // candidates move into a binary heap on MINdist, enabling early
+  // candidates move into a binary heap on MINdist², enabling early
   // termination (Theorem 4). With switch_to_queue=false the stack is kept
   // throughout — the HGb competitor of Fig. 5, which cannot terminate early
   // and only benefits from prune-on-pop.
@@ -236,28 +303,26 @@ void HierarchicalGridIndex::SearchBottomUp(const Point& q,
   // the root flips the search into queue mode; we transfer them into the
   // queue so no subtree is dropped (required for exactness).
   //
-  // "Visited" is an epoch stamp on the arena slot (one uint32 write/read)
-  // rather than a per-query hash set.
+  // "Visited" is a stamp in the caller's context keyed by arena slot (one
+  // uint32 write/read, no allocation, no write to the shared index).
   ResultCollector& collector = ctx->collector;
-  const uint32_t epoch = BeginSearch();
-  const auto visited = [&](uint32_t slot) {
-    return arena_[slot].epoch == epoch;
-  };
+  ctx->BeginVisit(arena_.size());
 
   std::vector<CellCandidate>& stack = ctx->stack;  // S_g
   std::vector<CellCandidate>& queue = ctx->heap;   // Q_g
   stack.clear();
   queue.clear();
   bool root_access = false;
+  uint64_t evals = 0;
 
   stack.push_back({0.0, LocateStart(q)});
 
-  const auto push_candidate = [&](uint32_t slot, double mindist) {
-    if (visited(slot)) return;
+  const auto push_candidate = [&](uint32_t slot, double mindist2) {
+    if (ctx->Visited(slot)) return;
     if (!root_access) {
-      stack.push_back({mindist, slot});
+      stack.push_back({mindist2, slot});
     } else {
-      queue.push_back({mindist, slot});
+      queue.push_back({mindist2, slot});
       std::push_heap(queue.begin(), queue.end(), CellCandidateGreater{});
     }
   };
@@ -267,40 +332,36 @@ void HierarchicalGridIndex::SearchBottomUp(const Point& q,
     if (!root_access) {
       cand = stack.back();
       stack.pop_back();
-      if (visited(cand.slot)) continue;
+      if (ctx->Visited(cand.slot)) continue;
       // Prune-on-pop (cannot break: the stack is unordered).
-      if (collector.Full() && cand.mindist > collector.Threshold()) {
-        arena_[cand.slot].epoch = epoch;  // subtree provably uninteresting
+      if (collector.Full() && cand.mindist2 > collector.Threshold2()) {
+        ctx->MarkVisited(cand.slot);  // subtree provably uninteresting
         continue;
       }
     } else {
       std::pop_heap(queue.begin(), queue.end(), CellCandidateGreater{});
       cand = queue.back();
       queue.pop_back();
-      if (visited(cand.slot)) continue;
+      if (ctx->Visited(cand.slot)) continue;
       // Ordered pops allow exact early termination.
-      if (collector.Full() && cand.mindist > collector.Threshold()) break;
+      if (collector.Full() && cand.mindist2 > collector.Threshold2()) break;
     }
-    HgCell& cell = arena_[cand.slot];
-    cell.epoch = epoch;
+    const HgCell& cell = arena_[cand.slot];
+    ctx->MarkVisited(cand.slot);
 
-    for (const SegmentEntry& e : cell.segments) {
-      if (options.filter && !options.filter(e)) continue;
-      ++dist_evals_;
-      collector.Offer(e, PointSegmentDistance(q, e.geom));
-    }
+    evals += SweepCell(cell, q, options, ctx);
 
     // Push the parent first (ancestors contain q; MINdist 0), then the
     // children, so LIFO order examines fine cells near q before coarser
     // ones (paper §IV-C2).
-    if (cell.parent != kNil && !visited(cell.parent)) {
+    if (cell.parent != kNil && !ctx->Visited(cell.parent)) {
       if (switch_to_queue && !root_access && cell.parent == root_) {
         root_access = true;
         queue.push_back({0.0, root_});
         std::push_heap(queue.begin(), queue.end(), CellCandidateGreater{});
         // Transfer stranded stack entries so phase 2 still sees them.
         for (const CellCandidate& c : stack) {
-          if (visited(c.slot)) continue;
+          if (ctx->Visited(c.slot)) continue;
           queue.push_back(c);
           std::push_heap(queue.begin(), queue.end(), CellCandidateGreater{});
         }
@@ -310,13 +371,14 @@ void HierarchicalGridIndex::SearchBottomUp(const Point& q,
       }
     }
     for (const uint32_t child : cell.children) {
-      if (visited(child)) continue;
-      const double child_dist =
-          MinDistPointBBox(q, grid_.CellBox(arena_[child].coord));
-      if (collector.Full() && child_dist > collector.Threshold()) continue;
-      push_candidate(child, child_dist);
+      if (ctx->Visited(child)) continue;
+      const double child_dist2 =
+          MinDist2PointBBox(q, grid_.CellBox(arena_[child].coord));
+      if (collector.Full() && child_dist2 > collector.Threshold2()) continue;
+      push_candidate(child, child_dist2);
     }
   }
+  dist_evals_.fetch_add(evals, std::memory_order_relaxed);
 }
 
 }  // namespace frt

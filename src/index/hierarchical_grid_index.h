@@ -14,22 +14,32 @@
 // Layout (see src/index/README.md). Cells live in a flat arena
 // (std::vector) addressed by 32-bit slots; freed slots are recycled through
 // a free list threaded through the parent field. Segment entries are stored
-// *inline* in their cell's segment vector, so the search loops touch no
-// hash table. Searches mark visited cells with an epoch stamp on the arena
-// slot instead of building a per-query visited set.
+// *inline* in their cell's segment vector, with the geometry mirrored into
+// fixed-width SoA lane blocks (geo/segment_soa.h) that the batched 8-lane
+// distance kernel sweeps, so the search loops touch no hash table and the
+// inner distance loop vectorizes.
+//
+// Concurrency. Searches are read-only: visited-cell marks live in the
+// caller's SearchContext (stamp vector keyed by arena slot), never on the
+// arena, and the distance_evaluations counter is a relaxed atomic. Between
+// mutations, any number of threads may run KNearest against one shared
+// index, each with its own context.
 //
 // Updates. Insert creates the best-fit cell on demand and re-parents any
 // existing cells that fall inside it; Remove splices empty cells out. This
 // keeps the index valid across the edit batches of trajectory modification
-// (Algorithm 3 line 36, ModifyAndUpdate).
+// (Algorithm 3 line 36, ModifyAndUpdate). Long-lived indexes accumulate
+// free-listed slots; Compact() repacks the live cells dense again.
 
 #ifndef FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_
 #define FRT_INDEX_HIERARCHICAL_GRID_INDEX_H_
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/grid.h"
+#include "geo/segment_soa.h"
 #include "index/segment_index.h"
 
 namespace frt {
@@ -49,12 +59,38 @@ class HierarchicalGridIndex : public SegmentIndex {
   Span<const Neighbor> KNearest(const Point& q, const SearchOptions& options,
                                 SearchContext* ctx) const override;
   size_t size() const override { return cell_of_.size(); }
-  uint64_t distance_evaluations() const override { return dist_evals_; }
+  uint64_t distance_evaluations() const override {
+    return dist_evals_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Repacks live cells into a dense arena, dropping every
+  /// free-listed slot while preserving relative slot order (and hence
+  /// child order, traversal order, and distance-evaluation counts).
+  /// Shrinks the slot space SearchContext stamp vectors are keyed by, so
+  /// contexts warmed before a Compact stay allocation-free after it.
+  /// Requires exclusive access (it is a mutation); returns the number of
+  /// free slots reclaimed.
+  size_t Compact();
 
   // --- introspection (tests / diagnostics) ---
 
   /// Number of materialized cells (including the root).
   size_t NumCells() const { return slot_of_coord_.size(); }
+
+  /// Total arena slots, live + free-listed. The slot-space bound contexts
+  /// size their stamp vectors to.
+  size_t ArenaSlots() const { return arena_.size(); }
+
+  /// Fraction of arena slots sitting on the free list — the fragmentation
+  /// long-lived streaming indexes accumulate and Compact() reclaims.
+  double Fragmentation() const {
+    return arena_.empty() ? 0.0
+                          : static_cast<double>(free_slots_) /
+                                static_cast<double>(arena_.size());
+  }
+
+  /// Number of Compact() calls that reclaimed at least one slot.
+  uint64_t compactions() const { return compactions_; }
 
   /// Best-fit cell coordinate for a segment (Definition 11).
   CellCoord BestFit(const Segment& s) const {
@@ -83,7 +119,9 @@ class HierarchicalGridIndex : public SegmentIndex {
     uint32_t parent = kNil;            ///< arena slot; free-list link when dead
     std::vector<uint32_t> children;    ///< arena slots
     std::vector<SegmentEntry> segments;  ///< inline entries (Def. 11 residents)
-    uint32_t epoch = 0;                ///< visited stamp of the last search
+    /// SoA mirror of segments' geometry, maintained in lockstep (PushBack
+    /// with push_back, SwapRemove with swap-erase): lane i is segments[i].
+    SegmentGeomSoA geom;
   };
 
   uint32_t FindSlot(const CellCoord& coord) const;
@@ -97,9 +135,12 @@ class HierarchicalGridIndex : public SegmentIndex {
   /// (Algorithm 3 line 1, LocatePoint).
   uint32_t LocateStart(const Point& q) const;
 
-  /// Begins a search: bumps the visited epoch (resetting all stamps on the
-  /// rare wrap) and returns the stamp marking this search's cells.
-  uint32_t BeginSearch() const;
+  /// Evaluates every resident of `cell` against q and offers the eligible
+  /// ones to the collector, via the batched SoA kernel or the scalar
+  /// reference path per `options`. Returns the eligible-candidate count
+  /// (the distance_evaluations contribution).
+  uint64_t SweepCell(const HgCell& cell, const Point& q,
+                     const SearchOptions& options, SearchContext* ctx) const;
 
   void SearchTopDown(const Point& q, const SearchOptions& options,
                      SearchContext* ctx) const;
@@ -108,14 +149,16 @@ class HierarchicalGridIndex : public SegmentIndex {
 
   GridSpec grid_;
   SearchStrategy strategy_;
-  /// mutable: const searches write only the per-cell `epoch` stamps.
-  mutable std::vector<HgCell> arena_;
+  std::vector<HgCell> arena_;
   uint32_t free_head_ = kNil;
+  size_t free_slots_ = 0;
+  uint64_t compactions_ = 0;
   std::unordered_map<uint64_t, uint32_t> slot_of_coord_;
   std::unordered_map<SegmentHandle, uint32_t> cell_of_;
   uint32_t root_ = 0;
-  mutable uint32_t cur_epoch_ = 0;
-  mutable uint64_t dist_evals_ = 0;
+  /// Pruning-effectiveness counter; relaxed atomic so concurrent readers
+  /// can account without synchronizing (one fetch_add per query).
+  mutable std::atomic<uint64_t> dist_evals_{0};
 };
 
 }  // namespace frt

@@ -42,11 +42,13 @@ Span<const Neighbor> LinearSegmentIndex::KNearest(
   ResultCollector& collector = ctx->collector;
   collector.Reset(options.k, options.group_by);
   ctx->results.clear();
+  uint64_t evals = 0;
   for (const SegmentEntry& e : entries_) {
     if (options.filter && !options.filter(e)) continue;
-    ++dist_evals_;
-    collector.Offer(e, PointSegmentDistance(q, e.geom));
+    ++evals;
+    collector.Offer(e, PointSegmentDistance2(q, e.geom));
   }
+  dist_evals_.fetch_add(evals, std::memory_order_relaxed);
   collector.Finalize(&ctx->results);
   return Span<const Neighbor>(ctx->results);
 }

@@ -1,11 +1,13 @@
 // Linear-scan segment index: the correctness reference and the Fig. 5
 // "Linear" competitor. O(n) per query, O(1) updates. Entries are stored
 // inline in one flat vector (swap-erase removal), so the scan is a single
-// sequential pass.
+// sequential pass. Searches are read-only (the evaluation counter is a
+// relaxed atomic), so concurrent readers are safe here too.
 
 #ifndef FRT_INDEX_LINEAR_INDEX_H_
 #define FRT_INDEX_LINEAR_INDEX_H_
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
@@ -23,12 +25,14 @@ class LinearSegmentIndex : public SegmentIndex {
   Span<const Neighbor> KNearest(const Point& q, const SearchOptions& options,
                                 SearchContext* ctx) const override;
   size_t size() const override { return entries_.size(); }
-  uint64_t distance_evaluations() const override { return dist_evals_; }
+  uint64_t distance_evaluations() const override {
+    return dist_evals_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<SegmentEntry> entries_;
   std::unordered_map<SegmentHandle, size_t> slot_of_;
-  mutable uint64_t dist_evals_ = 0;
+  mutable std::atomic<uint64_t> dist_evals_{0};
 };
 
 }  // namespace frt

@@ -80,6 +80,14 @@ struct SearchOptions {
   /// Non-owning: the callable must be a named object that outlives the
   /// KNearest call (see common/function_ref.h).
   FunctionRef<bool(const SegmentEntry&)> filter;
+  /// Evaluate cell residents through the 8-lane SoA distance kernel
+  /// (geo/segment_soa.h) instead of one scalar kernel call per candidate.
+  /// Results and distance_evaluations are bit-identical either way (the
+  /// two paths share one arithmetic kernel); the scalar path exists as the
+  /// A/B reference for that exactness contract. Honored by the
+  /// hierarchical grid; the linear and uniform-grid competitors are always
+  /// scalar.
+  bool use_batched_kernel = true;
 };
 
 /// \brief Reusable per-thread scratch state for KNearest calls.
@@ -115,6 +123,13 @@ class SegmentIndex {
   /// returned when the index runs out of eligible candidates. The returned
   /// span points into `ctx` and is valid until the next search through the
   /// same context. With a warm context this performs no heap allocation.
+  ///
+  /// Thread safety: KNearest is a genuinely read-only operation. Between
+  /// mutations (Insert/Build/Remove/Compact), any number of threads may
+  /// search the SAME index concurrently, each through its own
+  /// SearchContext — all per-query mutable state (visited stamps, scratch
+  /// buffers) lives in the context, and the distance_evaluations counter
+  /// is a relaxed atomic. Mutations still require exclusive access.
   virtual Span<const Neighbor> KNearest(const Point& q,
                                         const SearchOptions& options,
                                         SearchContext* ctx) const = 0;

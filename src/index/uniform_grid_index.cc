@@ -81,12 +81,9 @@ Span<const Neighbor> UniformGridIndex::KNearest(const Point& q,
   ctx->results.clear();
   if (slot_of_.empty() || options.k == 0) return {};
 
-  if (++cur_epoch_ == 0) {
-    // Wrap after 2^32 searches: reset every dedup stamp.
-    for (StoredEntry& se : store_) se.epoch = 0;
-    cur_epoch_ = 1;
-  }
-  const uint32_t epoch = cur_epoch_;
+  // Dedup stamps for multi-cell segments live in the caller's context,
+  // keyed by store slot — the store itself is never written by a search.
+  ctx->BeginVisit(store_.size());
 
   const int64_t n = grid_.Resolution(level_);
   const double cell_w =
@@ -95,13 +92,18 @@ Span<const Neighbor> UniformGridIndex::KNearest(const Point& q,
       grid_.region().Height() / static_cast<double>(n);
   const double cell_min = std::min(cell_w, cell_h);
   const CellCoord c0 = grid_.CellAt(q, level_);
+  uint64_t evals = 0;
 
   const int max_radius = static_cast<int>(n);  // covers the whole grid
   for (int radius = 0; radius <= max_radius; ++radius) {
-    // Lower bound on the distance from q to any cell in this ring.
+    // Lower bound on the distance from q to any cell in this ring,
+    // compared squared (both sides non-negative, so squaring preserves
+    // the decision exactly).
     if (radius >= 2) {
       const double ring_lb = (radius - 1) * cell_min;
-      if (collector.Full() && ring_lb > collector.Threshold()) break;
+      if (collector.Full() && ring_lb * ring_lb > collector.Threshold2()) {
+        break;
+      }
     }
     for (int dx = -radius; dx <= radius; ++dx) {
       for (int dy = -radius; dy <= radius; ++dy) {
@@ -112,16 +114,17 @@ Span<const Neighbor> UniformGridIndex::KNearest(const Point& q,
         auto it = cells_.find(CellCoord{level_, x, y}.Key());
         if (it == cells_.end()) continue;
         for (const uint32_t slot : it->second) {
-          StoredEntry& se = store_[slot];
-          if (se.epoch == epoch) continue;  // dedup multi-cell segments
-          se.epoch = epoch;
-          if (options.filter && !options.filter(se.entry)) continue;
-          ++dist_evals_;
-          collector.Offer(se.entry, PointSegmentDistance(q, se.entry.geom));
+          if (ctx->Visited(slot)) continue;  // dedup multi-cell segments
+          ctx->MarkVisited(slot);
+          const SegmentEntry& entry = store_[slot].entry;
+          if (options.filter && !options.filter(entry)) continue;
+          ++evals;
+          collector.Offer(entry, PointSegmentDistance2(q, entry.geom));
         }
       }
     }
   }
+  dist_evals_.fetch_add(evals, std::memory_order_relaxed);
   collector.Finalize(&ctx->results);
   return Span<const Neighbor>(ctx->results);
 }

@@ -106,6 +106,14 @@ Result<Dataset> BatchRunner::Anonymize(const Dataset& input, Rng& rng) {
         report_.epsilon_spent, "parallel composition over " +
                                    std::to_string(k) + " shards"));
   }
+  if (config_.audit.enabled) {
+    // The audit is read-only over (input, merged); it reuses the shared
+    // pool when one is attached, else runs its ranges on this thread.
+    report_.audit = RunWindowAudit(input, merged, config_.audit,
+                                   config_.dispatch == ShardDispatch::kWorkStealing
+                                       ? config_.pool
+                                       : nullptr);
+  }
   report_.wall_seconds = wall.ElapsedSeconds();
   return merged;
 }

@@ -28,6 +28,7 @@
 #include "core/pipeline.h"
 #include "dp/accountant.h"
 #include "runtime/shard_plan.h"
+#include "runtime/window_audit.h"
 #include "runtime/work_stealing_pool.h"
 
 namespace frt {
@@ -57,6 +58,11 @@ struct BatchRunnerConfig {
   /// dispatch is kWorkStealing, an ephemeral pool is created per call.
   /// Ignored under kStatic.
   WorkStealingPool* pool = nullptr;
+  /// Post-publish displacement audit (runtime/window_audit.h). When
+  /// enabled, the batch builds one segment index over the window's input
+  /// and fans the pool out over it read-only (or rebuilds per range with
+  /// audit.shared_index = false, the A/B baseline).
+  WindowAuditConfig audit;
 };
 
 /// Aggregated diagnostics of one batch run.
@@ -85,6 +91,8 @@ struct BatchReport {
   double shard_wall_min = 0.0;
   double shard_wall_max = 0.0;
   double shard_wall_mean = 0.0;
+  /// Displacement audit of this window (ran=false when disabled).
+  WindowAuditReport audit;
 };
 
 /// \brief Runs the paper's pipeline shard-by-shard over a partitioned

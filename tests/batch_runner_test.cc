@@ -216,6 +216,69 @@ TEST(BatchRunnerTest, ReportsShardObjectIdsMatchingThePlan) {
   EXPECT_EQ(total, input.size());
 }
 
+TEST(WindowAuditTest, SharedAndPrivateModesReportIdenticalDisplacement) {
+  // The audit's shared-index mode (one build, concurrent readers) and
+  // private mode (one build per range) must agree bit for bit on every
+  // displacement aggregate; only the build accounting may differ.
+  const Dataset input = SmallFleet(20, 29);
+  FrequencyRandomizer pipeline(SmallPipeline());
+  Rng rng(7);
+  auto published = pipeline.Anonymize(input, rng);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+
+  WindowAuditConfig config;
+  config.enabled = true;
+  config.ranges = 4;
+
+  WorkStealingPool pool(4);
+  config.shared_index = true;
+  const WindowAuditReport shared =
+      RunWindowAudit(input, *published, config, &pool);
+  config.shared_index = false;
+  const WindowAuditReport priv =
+      RunWindowAudit(input, *published, config, &pool);
+  // Serial execution (no pool) of the same ranges must also agree.
+  config.shared_index = true;
+  const WindowAuditReport serial =
+      RunWindowAudit(input, *published, config, nullptr);
+
+  ASSERT_TRUE(shared.ran);
+  ASSERT_TRUE(priv.ran);
+  EXPECT_EQ(shared.index_builds, 1);
+  EXPECT_EQ(priv.index_builds, 4);
+  EXPECT_GT(shared.points_audited, 0u);
+  for (const WindowAuditReport* other : {&priv, &serial}) {
+    EXPECT_EQ(shared.points_audited, other->points_audited);
+    EXPECT_EQ(shared.mean_displacement, other->mean_displacement);
+    EXPECT_EQ(shared.max_displacement, other->max_displacement);
+    EXPECT_EQ(shared.distance_evaluations, other->distance_evaluations);
+  }
+}
+
+TEST(WindowAuditTest, DisabledOrEmptyAuditDoesNotRun) {
+  const Dataset input = SmallFleet(4, 31);
+  WindowAuditConfig config;  // enabled defaults to false
+  EXPECT_FALSE(RunWindowAudit(input, input, config, nullptr).ran);
+  config.enabled = true;
+  EXPECT_FALSE(RunWindowAudit(Dataset(), input, config, nullptr).ran);
+  EXPECT_FALSE(RunWindowAudit(input, Dataset(), config, nullptr).ran);
+}
+
+TEST(BatchRunnerTest, AuditReportFlowsThroughBatchReport) {
+  const Dataset input = SmallFleet(12, 37);
+  BatchRunnerConfig config;
+  config.pipeline = SmallPipeline();
+  config.shards = 2;
+  config.audit.enabled = true;
+  BatchRunner runner(config);
+  Rng rng(3);
+  auto out = runner.Anonymize(input, rng);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(runner.report().audit.ran);
+  EXPECT_EQ(runner.report().audit.index_builds, 1);
+  EXPECT_GT(runner.report().audit.points_audited, 0u);
+}
+
 TEST(BatchRunnerTest, NameReflectsVariantAndShardCount) {
   BatchRunnerConfig config;
   config.pipeline = SmallPipeline();

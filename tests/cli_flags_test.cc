@@ -77,6 +77,31 @@ TEST(CliFlagsTest, PipelineFlagsErrorInsteadOfSilentZero) {
   EXPECT_EQ(args.epsilon_global, 0.75);
 }
 
+TEST(CliFlagsTest, SharedIndexFlagPairTogglesAndPropagates) {
+  PipelineArgs args;
+  EXPECT_TRUE(args.shared_index);  // shared is the default
+  EXPECT_EQ(ParseOne(ParsePipelineFlag, "--no-shared-index", "", &args),
+            FlagParse::kConsumed);
+  EXPECT_FALSE(args.shared_index);
+  EXPECT_EQ(ParseOne(ParsePipelineFlag, "--shared-index", "", &args),
+            FlagParse::kConsumed);
+  EXPECT_TRUE(args.shared_index);
+
+  // The choice reaches the streaming batch config's window audit.
+  FrequencyRandomizerConfig pipeline;
+  ASSERT_TRUE(MakePipelineConfig(args, &pipeline));
+  StreamArgs stream;
+  StreamRunnerConfig stream_config;
+  args.shared_index = false;
+  ASSERT_TRUE(MakeStreamConfig(stream, args, pipeline, &stream_config));
+  EXPECT_TRUE(stream_config.batch.audit.enabled);
+  EXPECT_FALSE(stream_config.batch.audit.shared_index);
+  EXPECT_EQ(stream_config.batch.audit.index_levels, pipeline.index_levels);
+  args.shared_index = true;
+  ASSERT_TRUE(MakeStreamConfig(stream, args, pipeline, &stream_config));
+  EXPECT_TRUE(stream_config.batch.audit.shared_index);
+}
+
 TEST(CliFlagsTest, StreamFlagsErrorInsteadOfSilentZero) {
   StreamArgs args;
   EXPECT_EQ(ParseOne(ParseStreamFlag, "--window", "big", &args),

@@ -113,11 +113,17 @@ int main(int argc, char** argv) {
       frt::Status::Internal("not executed");
   std::string method_name;
   frt::RandomizerReport report;
+  frt::WindowAuditConfig audit_config;
+  audit_config.enabled = true;
+  audit_config.shared_index = args.pipeline.shared_index;
+  audit_config.strategy = config.strategy;
+  audit_config.index_levels = config.index_levels;
   if (args.pipeline.shards > 1) {
     frt::BatchRunnerConfig batch_config;
     batch_config.pipeline = config;
     batch_config.shards = args.pipeline.shards;
     batch_config.threads = args.pipeline.threads;
+    batch_config.audit = audit_config;
     frt::BatchRunner runner(batch_config);
     method_name = runner.name();
     published = runner.Anonymize(*dataset, rng);
@@ -135,6 +141,7 @@ int main(int argc, char** argv) {
                    batch.shard_wall_mean > 0.0
                        ? batch.shard_wall_max / batch.shard_wall_mean
                        : 0.0);
+      frt::cli::PrintAuditReport(batch.audit);
     }
   } else {
     if (args.pipeline.threads != 0) {
@@ -144,7 +151,11 @@ int main(int argc, char** argv) {
     frt::FrequencyRandomizer randomizer(config);
     method_name = randomizer.name();
     published = randomizer.Anonymize(*dataset, rng);
-    if (published.ok()) report = randomizer.report();
+    if (published.ok()) {
+      report = randomizer.report();
+      frt::cli::PrintAuditReport(frt::RunWindowAudit(
+          *dataset, *published, audit_config, /*pool=*/nullptr));
+    }
   }
   if (!published.ok()) {
     std::fprintf(stderr, "anonymize: %s\n",

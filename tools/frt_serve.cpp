@@ -466,6 +466,7 @@ int main(int argc, char** argv) {
                             ? "deadline"
                             : "final"),
                  window.close_wait_ms, window.publish_latency_ms);
+    frt::cli::PrintAuditReport(window.batch.audit);
     return frt::Status::OK();
   };
 

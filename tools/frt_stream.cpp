@@ -312,6 +312,7 @@ int main(int argc, char** argv) {
                             : ""),
                  batch.wall_seconds, batch.shard_wall_min,
                  batch.shard_wall_mean, batch.shard_wall_max);
+    frt::cli::PrintAuditReport(batch.audit);
     ++windows_published_so_far;
     trajectories_published_so_far += window.trajectories;
     if (metrics) {
