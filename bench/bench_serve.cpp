@@ -36,6 +36,15 @@
 //                             disarmed half doubles as the compiled-in-
 //                             but-disabled neutrality figure against the
 //                             committed baseline (claim: ratio >= 0.97).
+//   ServeAdminScrapeOverhead  the same ABBA-paired design for the admin
+//                             introspection plane: a 16-feed run with no
+//                             admin listener vs the same run scraped at
+//                             10 Hz (GET /metrics + GET /feedz) over a
+//                             Unix socket. admin_scrape_throughput_ratio
+//                             is scraped/unscraped throughput; the claim
+//                             is ratio >= 0.99 — handlers only read
+//                             registry atomics and snapshot copies, so a
+//                             live scraper must be throughput-neutral.
 //   DispatcherWakeup/N        N in {16,256,2048} dormant feeds each hold
 //                             an armed (never-due) close deadline while
 //                             one hot feed drives 40 windows through the
@@ -56,8 +65,10 @@
 #include <benchmark/benchmark.h>
 
 #include <stdlib.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -71,6 +82,8 @@
 #include "net/frame.h"
 #include "net/ingress.h"
 #include "net/socket.h"
+#include "obs/admin_server.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "service/dispatcher.h"
 #include "stream/ingest.h"
@@ -506,6 +519,183 @@ void BM_ServeTraceOverhead(benchmark::State& state) {
       static_cast<double>(dropped), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_ServeTraceOverhead)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// One scrape: HTTP/1.0 GET over the admin Unix socket, response drained
+/// to EOF. Returns false if the connection or write failed.
+bool AdminGet(const frt::net::Endpoint& endpoint,
+              const std::string& target) {
+  auto conn = frt::net::ConnectTo(endpoint);
+  if (!conn.ok()) return false;
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  if (!frt::net::WriteAll(conn->fd(), request.data(), request.size())
+           .ok()) {
+    return false;
+  }
+  ::shutdown(conn->fd(), SHUT_WR);
+  char buf[4096];
+  size_t total = 0;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    total += static_cast<size_t>(n);
+  }
+  return total > 0;
+}
+
+void BM_ServeAdminScrapeOverhead(benchmark::State& state) {
+  // The admin plane's core contract quantified: handlers only read
+  // registry atomics and SnapshotBoard copies, so a live 10 Hz scraper
+  // (a Prometheus server plus a curl-happy operator) must not move
+  // serving throughput. 16 feeds through one shared pool, ABBA-mirrored
+  // unscraped/scraped halves per iteration (see BM_ServeTraceOverhead
+  // for the pairing rationale).
+  const int feeds = 16;
+  const int arrivals_per_feed = 100;
+  const std::vector<frt::Trajectory> arrivals =
+      FeedArrivals(arrivals_per_feed, 0);
+  std::vector<std::string> names;
+  names.reserve(feeds);
+  for (int f = 0; f < feeds; ++f) {
+    names.push_back("feed" + std::to_string(f));
+  }
+
+  int round = 0;
+  size_t scrapes = 0, failed_scrapes = 0;
+  auto run_once = [&](bool scraped, size_t* published) -> double {
+    frt::ServiceConfig config = BaseConfig();
+    config.stream.window_size = 100;
+    config.stream.batch.pipeline.m = 5;
+    config.metrics_interval_ms = 100;  // live introspection board ticks
+    frt::ServiceDispatcher service(config, CountingSink(published));
+
+    std::unique_ptr<frt::obs::AdminServer> admin;
+    std::thread scraper;
+    std::atomic<bool> stop_scraper{false};
+    frt::net::Endpoint endpoint;
+    if (scraped) {
+      endpoint.kind = frt::net::Endpoint::Kind::kUnix;
+      endpoint.path = "/tmp/frt_bench_admin_" +
+                      std::to_string(::getpid()) + "_" +
+                      std::to_string(round++) + ".sock";
+      frt::obs::AdminServer::Options options;
+      options.endpoint = endpoint;
+      admin = std::make_unique<frt::obs::AdminServer>(options);
+      frt::ServiceDispatcher* service_ptr = &service;
+      admin->Handle(
+          "GET", "/feedz",
+          [service_ptr](const frt::obs::HttpRequest&) {
+            frt::obs::HttpResponse response;
+            response.content_type = "application/json";
+            const auto intro = service_ptr->Introspect();
+            if (intro == nullptr) {
+              response.status = 503;
+              response.body = "{\"error\":\"starting\"}\n";
+              return response;
+            }
+            std::string body = "{\"feed\":[";
+            for (size_t i = 0; i < intro->feeds_detail.size(); ++i) {
+              const auto& feed = intro->feeds_detail[i];
+              if (i > 0) body += ',';
+              body += "{\"feed\":\"" + feed.feed + "\",\"eps_spent\":" +
+                      std::to_string(feed.epsilon_spent) + "}";
+            }
+            body += "]}\n";
+            response.body = std::move(body);
+            return response;
+          });
+      if (!admin->Start().ok()) return -1.0;
+      scraper = std::thread([&endpoint, &stop_scraper, &scrapes,
+                             &failed_scrapes] {
+        // 10 Hz alternating /metrics and /feedz — both endpoints every
+        // 200 ms, the cadence a Prometheus scrape_interval of a few
+        // seconds would comfortably exceed.
+        while (!stop_scraper.load(std::memory_order_relaxed)) {
+          ++scrapes;
+          if (!AdminGet(endpoint, "/metrics")) ++failed_scrapes;
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          if (stop_scraper.load(std::memory_order_relaxed)) break;
+          ++scrapes;
+          if (!AdminGet(endpoint, "/feedz")) ++failed_scrapes;
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = -1.0;
+    if (service.Start(kSeed).ok()) {
+      bool offered = true;
+      for (const frt::Trajectory& t : arrivals) {
+        for (const std::string& name : names) {
+          if (!service.Offer(name, t)) {
+            offered = false;
+            break;
+          }
+        }
+        if (!offered) break;
+      }
+      if (offered && service.Finish().ok()) {
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      }
+    }
+    if (scraped) {
+      stop_scraper.store(true, std::memory_order_relaxed);
+      scraper.join();
+      admin->Stop();
+    }
+    return elapsed;
+  };
+
+  {
+    // Untimed warmup (see BM_ServeTraceOverhead).
+    size_t warmup_published = 0;
+    if (run_once(false, &warmup_published) < 0.0) {
+      state.SkipWithError("service warmup run failed");
+      return;
+    }
+  }
+  double off_seconds = 0.0, on_seconds = 0.0;
+  size_t off_published = 0, on_published = 0;
+  for (auto _ : state) {
+    double off = 0.0, on = 0.0;
+    bool failed = false;
+    for (const bool scraped : {false, true, true, false}) {
+      const double elapsed =
+          run_once(scraped, scraped ? &on_published : &off_published);
+      if (elapsed < 0.0) failed = true;
+      (scraped ? on : off) += elapsed;
+    }
+    if (failed) {
+      state.SkipWithError("service run failed");
+      return;
+    }
+    off_seconds += off;
+    on_seconds += on;
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(off_published + on_published));
+  const double off_rate =
+      off_seconds > 0.0 ? static_cast<double>(off_published) / off_seconds
+                        : 0.0;
+  const double on_rate =
+      on_seconds > 0.0 ? static_cast<double>(on_published) / on_seconds
+                       : 0.0;
+  state.counters["feeds"] = static_cast<double>(feeds);
+  state.counters["throughput_off_per_s"] = off_rate;
+  state.counters["throughput_on_per_s"] = on_rate;
+  state.counters["admin_scrape_throughput_ratio"] =
+      off_rate > 0.0 ? on_rate / off_rate : 0.0;
+  state.counters["scrapes_per_iter"] = benchmark::Counter(
+      static_cast<double>(scrapes), benchmark::Counter::kAvgIterations);
+  state.counters["failed_scrapes_per_iter"] = benchmark::Counter(
+      static_cast<double>(failed_scrapes),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ServeAdminScrapeOverhead)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

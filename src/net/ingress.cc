@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <unordered_set>
@@ -32,7 +33,22 @@ IngressServer::IngressServer(Options options, OfferFn offer,
                              QuarantineFn quarantine)
     : options_(std::move(options)),
       offer_(std::move(offer)),
-      quarantine_(std::move(quarantine)) {}
+      quarantine_(std::move(quarantine)) {
+  obs::Registry* registry = options_.registry;
+  connections_total_ = registry->GetCounter(
+      "frt_ingress_connections_total", "Edge connections accepted");
+  frames_total_ = registry->GetCounter(
+      "frt_ingress_frames_total", "Frames fully read and CRC-verified");
+  trajectories_total_ = registry->GetCounter(
+      "frt_ingress_trajectories_total",
+      "Trajectories decoded and offered downstream");
+  quarantine_total_ = registry->GetCounter(
+      "frt_ingress_quarantine_events_total",
+      "Per-feed quarantine reports raised by ingress readers");
+  accept_retries_ = registry->GetCounter(
+      "frt_ingress_accept_retries_total",
+      "Transient ingress accept() failures retried with backoff");
+}
 
 IngressServer::~IngressServer() {
   Stop();
@@ -70,6 +86,7 @@ void IngressServer::Stop() {
 void IngressServer::AcceptLoop() {
   obs::SetTraceThreadName("ingress-accept");
   size_t accepted = 0;
+  int backoff_ms = 1;
   while (!stop_.load(std::memory_order_relaxed)) {
     // Poll with a timeout so a Stop() that raced the shutdown() wakeup is
     // still noticed promptly.
@@ -77,15 +94,31 @@ void IngressServer::AcceptLoop() {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
-    auto conn = Accept(listener_);
+    bool transient = false;
+    auto conn = Accept(listener_, &transient);
     if (!conn.ok()) {
+      if (transient) {
+        // An aborted handshake or fd exhaustion must not kill the
+        // listener while N-1 healthy edges are still connecting: retry
+        // with bounded backoff (the sleep also lets fds drain under
+        // EMFILE) and leave an audit trail in the registry.
+        accept_retries_->Inc();
+        FRT_LOG(Warning) << "ingress accept failed (retrying in "
+                         << backoff_ms
+                         << " ms): " << conn.status().message();
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 200);
+        continue;
+      }
       FRT_LOG(Warning) << "ingress accept failed: "
                        << conn.status().message();
       break;
     }
     if (!conn->valid()) break;  // listener shut down
+    backoff_ms = 1;
     const size_t index = ++accepted;
     stats_.connections = accepted;
+    connections_total_->Inc();
     readers_.emplace_back(&IngressServer::ReadConnection, this,
                           std::move(conn).value(), index);
     if (options_.max_connections != 0 &&
@@ -115,6 +148,7 @@ void IngressServer::ReadConnection(Socket conn, size_t index) {
                                   const std::string& reason) {
     if (!quarantined.insert(feed).second) return;
     quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_total_->Inc();
     quarantine_(feed, reason);
   };
 
@@ -160,6 +194,7 @@ void IngressServer::ReadConnection(Socket conn, size_t index) {
       break;
     }
     frames_.fetch_add(1, std::memory_order_relaxed);
+    frames_total_->Inc();
 
     switch (header->type) {
       case FrameType::kHello:
@@ -192,6 +227,7 @@ void IngressServer::ReadConnection(Socket conn, size_t index) {
         }
         if (quarantined.count(decoded->feed) != 0) break;  // already dead
         trajectories_.fetch_add(1, std::memory_order_relaxed);
+        trajectories_total_->Inc();
         if (!offer_(decoded->feed, std::move(decoded->trajectory))) {
           // Service is finishing; stop draining this socket.
           clean_bye = true;

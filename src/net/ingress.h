@@ -39,6 +39,7 @@
 
 #include "common/result.h"
 #include "net/socket.h"
+#include "obs/registry.h"
 #include "traj/trajectory.h"
 
 namespace frt::net {
@@ -62,6 +63,9 @@ class IngressServer {
     /// Stop()); Wait() then returns once the last reader drains.
     size_t max_connections = 0;
     int backlog = 16;
+    /// Registry the frt_ingress_* counters register into. Stats stays
+    /// per-instance; the registry mirror is the scrapeable home.
+    obs::Registry* registry = &obs::Registry::Default();
   };
 
   struct Stats {
@@ -108,6 +112,13 @@ class IngressServer {
   std::atomic<uint64_t> frames_{0};
   std::atomic<uint64_t> trajectories_{0};
   std::atomic<uint64_t> quarantine_events_{0};
+  /// Registry mirrors of the per-instance counters above, plus the
+  /// transient accept-retry count (which has no per-instance twin).
+  obs::Counter* connections_total_ = nullptr;
+  obs::Counter* frames_total_ = nullptr;
+  obs::Counter* trajectories_total_ = nullptr;
+  obs::Counter* quarantine_total_ = nullptr;
+  obs::Counter* accept_retries_ = nullptr;
 };
 
 }  // namespace frt::net

@@ -155,16 +155,34 @@ Result<Socket> ListenOn(const Endpoint& endpoint, int backlog) {
              : ListenTcp(endpoint, backlog);
 }
 
-Result<Socket> Accept(const Socket& listener) {
+bool IsTransientAcceptError(int err) {
+  switch (err) {
+    case ECONNABORTED:  // peer gave up while queued — next accept is fine
+    case EMFILE:        // fd exhaustion: transient once a conn closes
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+#ifdef EPROTO
+    case EPROTO:
+#endif
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Socket> Accept(const Socket& listener, bool* transient) {
+  if (transient != nullptr) *transient = false;
   for (;;) {
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd >= 0) return Socket(fd);
     if (errno == EINTR) continue;
     // The listener was shut down / closed under us: a clean stop, not an
-    // error the caller needs to report.
-    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) {
-      return Socket();
-    }
+    // error the caller needs to report. Transient conditions (aborted
+    // handshake, fd/buffer exhaustion) are flagged through `transient`
+    // so accept loops retry with backoff instead of dying.
+    if (errno == EINVAL || errno == EBADF) return Socket();
+    if (transient != nullptr) *transient = IsTransientAcceptError(errno);
     return Status::IOError(Errno("accept"));
   }
 }

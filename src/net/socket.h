@@ -71,9 +71,17 @@ class Socket {
 /// socket file left by a dead process is removed first.
 Result<Socket> ListenOn(const Endpoint& endpoint, int backlog = 16);
 
+/// \brief True when `err` (an accept(2) errno) is a transient condition
+/// — aborted handshake (ECONNABORTED), fd exhaustion (EMFILE/ENFILE),
+/// or kernel memory pressure — that an accept loop should retry with
+/// bounded backoff rather than treat as fatal to the listener.
+bool IsTransientAcceptError(int err);
+
 /// \brief Accepts one connection (blocking, EINTR-safe). Returns an
-/// invalid Socket (not an error) when the listener was shut down.
-Result<Socket> Accept(const Socket& listener);
+/// invalid Socket (not an error) when the listener was shut down. On an
+/// IOError, `transient` (when non-null) is set to whether the condition
+/// is retryable per IsTransientAcceptError.
+Result<Socket> Accept(const Socket& listener, bool* transient = nullptr);
 
 /// \brief Connects to `endpoint` (blocking).
 Result<Socket> ConnectTo(const Endpoint& endpoint);

@@ -44,6 +44,19 @@ class Histogram {
 
   Histogram() : counts_(kNumBuckets, 0) {}
 
+  /// \brief Rebuilds a histogram from externally maintained parts —
+  /// `bucket_counts` must hold kNumBuckets entries laid out by
+  /// BucketIndex, and count/min/max/sum must be the exact side stats the
+  /// accessors would have tracked. Used by the metrics registry to
+  /// snapshot its atomic bucket cells into a plain, mergeable Histogram.
+  Histogram(const uint64_t* bucket_counts, uint64_t count, double min_ms,
+            double max_ms, double sum_ms)
+      : counts_(bucket_counts, bucket_counts + kNumBuckets),
+        count_(count),
+        min_ms_(min_ms),
+        max_ms_(max_ms),
+        sum_ms_(sum_ms) {}
+
   /// \brief Records one duration (milliseconds; negatives clamp to 0).
   void Record(double ms) { RecordN(ms, 1); }
 
@@ -67,12 +80,14 @@ class Histogram {
     return count_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(count_);
   }
 
- private:
+  /// Bucket geometry, shared with the registry's atomic histogram cells
+  /// so their externally recorded buckets merge with ours bit for bit.
   static uint64_t TicksFromMs(double ms);
   static size_t BucketIndex(uint64_t ticks);
   /// Midpoint of bucket `index`, in ms.
   static double BucketMidMs(size_t index);
 
+ private:
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
   double min_ms_ = 0.0;

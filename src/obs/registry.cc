@@ -1,0 +1,245 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace frt::obs {
+
+namespace {
+
+/// Lowers `cell` toward `v` (CAS loop; C++17 atomic<double> has no
+/// fetch_min).
+void AtomicMin(std::atomic<double>* cell, double v) {
+  double cur = cell->load(std::memory_order_relaxed);
+  while (v < cur && !cell->compare_exchange_weak(cur, v,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* cell, double v) {
+  double cur = cell->load(std::memory_order_relaxed);
+  while (v > cur && !cell->compare_exchange_weak(cur, v,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* cell, double v) {
+  double cur = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(cur, cur + v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Prometheus value formatting: %.17g round-trips doubles exactly, and
+/// the spec spells infinities +Inf/-Inf.
+std::string FormatPromValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  return StrFormat("%.17g", v);
+}
+
+/// Splits `series` into its base metric name and the label body (the
+/// text inside the braces, no braces; empty when unlabeled).
+void SplitSeries(std::string_view series, std::string_view* base,
+                 std::string_view* labels) {
+  const size_t brace = series.find('{');
+  if (brace == std::string_view::npos) {
+    *base = series;
+    *labels = {};
+    return;
+  }
+  *base = series.substr(0, brace);
+  std::string_view rest = series.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  *labels = rest;
+}
+
+/// Rebuilds a series name with one extra label appended (`quantile` for
+/// summary rows) or with a suffix on the base name (_sum/_count).
+std::string SeriesWith(std::string_view base, std::string_view labels,
+                       std::string_view extra_label) {
+  std::string out(base);
+  if (labels.empty() && extra_label.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra_label.empty()) out += ',';
+  out += extra_label;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+HistogramCell::HistogramCell()
+    : buckets_(new std::atomic<uint64_t>[Histogram::kNumBuckets]),
+      min_ms_(std::numeric_limits<double>::infinity()) {
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void HistogramCell::RecordN(double ms, uint64_t n) {
+  if (n == 0) return;
+  const size_t index = Histogram::BucketIndex(Histogram::TicksFromMs(ms));
+  buckets_[index].fetch_add(n, std::memory_order_relaxed);
+  const double v = ms > 0.0 ? ms : 0.0;
+  AtomicMin(&min_ms_, v);
+  AtomicMax(&max_ms_, v);
+  AtomicAdd(&sum_ms_, v * static_cast<double>(n));
+  count_.fetch_add(n, std::memory_order_relaxed);
+}
+
+Histogram HistogramCell::Snapshot() const {
+  const uint64_t count = count_.load(std::memory_order_relaxed);
+  if (count == 0) return Histogram();
+  std::vector<uint64_t> buckets(Histogram::kNumBuckets);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return Histogram(buckets.data(), count,
+                   min_ms_.load(std::memory_order_relaxed),
+                   max_ms_.load(std::memory_order_relaxed),
+                   sum_ms_.load(std::memory_order_relaxed));
+}
+
+std::string LabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string WithLabel(std::string_view base, std::string_view key,
+                      std::string_view value) {
+  std::string out(base);
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += LabelEscape(value);
+  out += "\"}";
+  return out;
+}
+
+Registry& Registry::Default() {
+  // Leaked on purpose: worker threads may bump counters during static
+  // destruction (same rationale as TraceRecorder::Get).
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name,
+                                        std::string_view help, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  Entry& entry = it->second;
+  if (!inserted) return entry.kind == kind ? &entry : nullptr;
+  entry.kind = kind;
+  entry.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<HistogramCell>();
+      break;
+  }
+  return &entry;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
+  Entry* entry = FindOrCreate(name, help, Kind::kCounter);
+  return entry != nullptr ? entry->counter.get() : nullptr;
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
+  Entry* entry = FindOrCreate(name, help, Kind::kGauge);
+  return entry != nullptr ? entry->gauge.get() : nullptr;
+}
+
+HistogramCell* Registry::GetHistogram(std::string_view name,
+                                      std::string_view help) {
+  Entry* entry = FindOrCreate(name, help, Kind::kHistogram);
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // std::map sorts series names, so label variants of one base name are
+  // contiguous (they all share the `base{` prefix) — one TYPE line per
+  // family, emitted when the base name changes.
+  std::string last_base;
+  for (const auto& [series, entry] : entries_) {
+    std::string_view base, labels;
+    SplitSeries(series, &base, &labels);
+    if (base != last_base) {
+      last_base = std::string(base);
+      if (!entry.help.empty()) {
+        out += "# HELP ";
+        out += base;
+        out += ' ';
+        out += entry.help;
+        out += '\n';
+      }
+      out += "# TYPE ";
+      out += base;
+      switch (entry.kind) {
+        case Kind::kCounter: out += " counter\n"; break;
+        case Kind::kGauge: out += " gauge\n"; break;
+        case Kind::kHistogram: out += " summary\n"; break;
+      }
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += series;
+        out += ' ';
+        out += StrFormat("%llu", static_cast<unsigned long long>(
+                                     entry.counter->value()));
+        out += '\n';
+        break;
+      case Kind::kGauge:
+        out += series;
+        out += ' ';
+        out += FormatPromValue(entry.gauge->value());
+        out += '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram h = entry.histogram->Snapshot();
+        static constexpr struct {
+          const char* label;
+          double q;
+        } kQuantiles[] = {{"quantile=\"0.5\"", 0.5},
+                          {"quantile=\"0.9\"", 0.9},
+                          {"quantile=\"0.99\"", 0.99}};
+        for (const auto& quantile : kQuantiles) {
+          out += SeriesWith(base, labels, quantile.label);
+          out += ' ';
+          out += FormatPromValue(h.Quantile(quantile.q));
+          out += '\n';
+        }
+        out += SeriesWith(std::string(base) + "_sum", labels, {});
+        out += ' ';
+        out += FormatPromValue(h.sum_ms());
+        out += '\n';
+        out += SeriesWith(std::string(base) + "_count", labels, {});
+        out += ' ';
+        out += StrFormat("%llu",
+                         static_cast<unsigned long long>(h.count()));
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace frt::obs

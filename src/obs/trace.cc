@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/registry.h"
+
 namespace frt::obs {
 
 namespace {
@@ -228,6 +230,14 @@ TraceDump TraceRecorder::Stop() {
   }
   buffers_.clear();  // thread-local shared_ptrs keep live writers safe
   running_ = false;
+  if (dump.dropped > 0) {
+    // Ring overwrites are otherwise only visible in the dump itself;
+    // the registry counter makes them scrapeable across sessions.
+    Registry::Default()
+        .GetCounter("frt_trace_dropped_total",
+                    "Trace spans overwritten before the ring was drained")
+        ->Inc(dump.dropped);
+  }
   std::sort(dump.events.begin(), dump.events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.start_ns != b.start_ns ? a.start_ns < b.start_ns

@@ -80,6 +80,54 @@ ServiceDispatcher::ServiceDispatcher(ServiceConfig config, ServiceSink sink)
            "latency aggregates use fixed-size histograms now (O(1) memory, "
            "always on)";
   }
+  metrics_interval_ms_.store(std::max<int64_t>(config_.metrics_interval_ms, 1),
+                             std::memory_order_relaxed);
+  obs::Registry& reg = *config_.registry;
+  ctr_sessions_created_ = reg.GetCounter(
+      "frt_serve_sessions_created_total", "Feed sessions opened (all generations)");
+  ctr_sessions_evicted_ = reg.GetCounter(
+      "frt_serve_sessions_evicted_total", "Feed sessions idle-evicted");
+  ctr_windows_closed_ = reg.GetCounter(
+      "frt_serve_windows_closed_total", "Windows closed (count, deadline, or final)");
+  ctr_windows_published_ = reg.GetCounter(
+      "frt_serve_windows_published_total", "Windows anonymized and handed to the sink");
+  ctr_windows_refused_ = reg.GetCounter(
+      "frt_serve_windows_refused_total", "Windows refused by budget admission");
+  ctr_windows_deadline_closed_ = reg.GetCounter(
+      "frt_serve_windows_deadline_closed_total",
+      "Windows closed by the close-after-ms deadline");
+  ctr_trajectories_in_ = reg.GetCounter(
+      "frt_serve_trajectories_in_total", "Trajectories routed into sessions");
+  ctr_trajectories_published_ = reg.GetCounter(
+      "frt_serve_trajectories_published_total", "Trajectories in published windows");
+  ctr_feeds_quarantined_ = reg.GetCounter(
+      "frt_serve_feeds_quarantined_total", "Feeds quarantined by per-feed faults");
+  ctr_checkpoints_written_ = reg.GetCounter(
+      "frt_serve_checkpoints_written_total", "Durable ledger snapshots written");
+  ctr_checkpoint_errors_ = reg.GetCounter(
+      "frt_serve_checkpoint_errors_total", "Failed ledger snapshot writes");
+  g_active_sessions_ = reg.GetGauge(
+      "frt_serve_active_sessions", "Feed sessions currently live");
+  g_queue_depth_ = reg.GetGauge(
+      "frt_serve_queue_depth", "Arrival queue occupancy");
+  g_backlog_windows_ = reg.GetGauge(
+      "frt_serve_backlog_windows", "Closed-but-unsubmitted windows");
+  g_in_flight_ = reg.GetGauge(
+      "frt_serve_in_flight", "Window jobs on the pool");
+  g_feeds_ = reg.GetGauge("frt_serve_feeds", "Feeds ever seen");
+  g_eps_spent_max_ = reg.GetGauge(
+      "frt_serve_eps_spent_max", "Largest per-feed epsilon spent so far");
+  const auto stage_cell = [&reg](std::string_view stage) {
+    return reg.GetHistogram(
+        obs::WithLabel("frt_stage_ms", "stage", stage),
+        "Per-stage latency (ms) across the whole process");
+  };
+  cell_close_wait_ = stage_cell("close_wait");
+  cell_publish_ = stage_cell("publish");
+  cell_queue_wait_ = stage_cell("queue_wait");
+  cell_anonymize_ = stage_cell("anonymize");
+  cell_checkpoint_ = stage_cell("checkpoint");
+  cell_sink_ = stage_cell("sink");
 }
 
 ServiceDispatcher::~ServiceDispatcher() {
@@ -196,6 +244,7 @@ void ServiceDispatcher::Route(Arrival&& arrival,
     // derives from them); an interval snapshot picks this up.
     ledger_dirty_ = true;
     ++report_.sessions_created;
+    ctr_sessions_created_->Inc();
     ++active_sessions_;
     report_.peak_active_sessions =
         std::max(report_.peak_active_sessions, active_sessions_);
@@ -207,6 +256,7 @@ void ServiceDispatcher::Route(Arrival&& arrival,
   const std::string feed = arrival.feed;
   slot.session->set_evict_when_drained(false);  // the feed is live again
   slot.session->Offer(std::move(arrival.trajectory), now);
+  ctr_trajectories_in_->Inc();
   while (slot.session && slot.session->WindowReady()) {
     if (!CloseSessionWindow(feed, slot, WindowClose::kCount, now)) return;
   }
@@ -288,6 +338,8 @@ bool ServiceDispatcher::CloseSessionWindow(const std::string& feed,
     return false;
   }
   ++backlog_windows_;
+  ctr_windows_closed_->Inc();
+  if (reason == WindowClose::kDeadline) ctr_windows_deadline_closed_->Inc();
   return true;
 }
 
@@ -299,6 +351,7 @@ void ServiceDispatcher::QuarantineFeed(const std::string& feed,
   if (slot.quarantined) return;  // first fault wins
   slot.quarantined = true;
   slot.quarantine_reason = std::move(reason);
+  ctr_feeds_quarantined_->Inc();
   slot.armed_deadline = SteadyClock::time_point::max();
   live_order_dirty_ = true;
   FRT_LOG(Warning) << "service: quarantined feed '" << feed
@@ -328,6 +381,7 @@ void ServiceDispatcher::EvictSession(FeedSlot* slot) {
   live_order_dirty_ = true;
   ledger_dirty_ = true;
   ++report_.sessions_evicted;
+  ctr_sessions_evicted_->Inc();
   --active_sessions_;
 }
 
@@ -385,7 +439,14 @@ void ServiceDispatcher::SubmitReady() {
     std::optional<WindowJob> job = slot.session->NextSubmittable();
     // Admission refusals and the submission both shrink the backlog; the
     // running counter absorbs whatever NextSubmittable consumed.
-    backlog_windows_ -= backlog_before - slot.session->backlog_size();
+    const size_t consumed = backlog_before - slot.session->backlog_size();
+    backlog_windows_ -= consumed;
+    // Whatever NextSubmittable consumed beyond the granted job (if any)
+    // was refused by budget admission.
+    if (const size_t refused = consumed - (job.has_value() ? 1 : 0);
+        refused > 0) {
+      ctr_windows_refused_->Inc(refused);
+    }
     if (config_.stream.stop_when_exhausted && !stopping_ &&
         slot.session->had_refusals()) {
       // End service at the first refusal (mirrors StreamRunner's
@@ -484,13 +545,18 @@ void ServiceDispatcher::AbsorbCompletion(
     return;
   }
   ledger_dirty_ = true;  // Complete() charged the accountants
-  close_wait_hist_.Record(completion->job.close_wait_ms);
-  publish_hist_.Record(publish_ms);
-  queue_wait_hist_.Record(
+  const double queue_wait_ms =
       std::chrono::duration<double, std::milli>(completion->started_at -
                                                 completion->job.closed_at)
-          .count());
+          .count();
+  close_wait_hist_.Record(completion->job.close_wait_ms);
+  publish_hist_.Record(publish_ms);
+  queue_wait_hist_.Record(queue_wait_ms);
   anonymize_hist_.Record(completion->run_ms);
+  cell_close_wait_->Record(completion->job.close_wait_ms);
+  cell_publish_->Record(publish_ms);
+  cell_queue_wait_->Record(queue_wait_ms);
+  cell_anonymize_->Record(completion->run_ms);
   slot.close_wait_hist.Record(completion->job.close_wait_ms);
   slot.publish_hist.Record(publish_ms);
   // The spend is charged; the output waits in pending_ until
@@ -539,9 +605,13 @@ void ServiceDispatcher::FlushPublishes() {
     const SteadyClock::time_point sink_end = SteadyClock::now();
     obs::EmitSpan("sink", obs::SpanCategory::kPublish, pending.feed,
                   sink_start, sink_end);
-    sink_hist_.Record(
+    const double sink_ms =
         std::chrono::duration<double, std::milli>(sink_end - sink_start)
-            .count());
+            .count();
+    sink_hist_.Record(sink_ms);
+    cell_sink_->Record(sink_ms);
+    ctr_windows_published_->Inc();
+    ctr_trajectories_published_->Inc(pending.report.trajectories);
     slot.session->RecordPublished(pending.report);
     if (slot.session->evict_when_drained() && slot.session->Drained()) {
       EvictSession(&slot);
@@ -573,15 +643,19 @@ Status ServiceDispatcher::WriteCheckpointNow() {
     // Counted before the abort so the last metrics tick shows WHY the
     // service died (satellite to the dir-fsync propagation fix).
     ++checkpoint_errors_;
+    ctr_checkpoint_errors_->Inc();
     return st;
   }
   checkpoint_seq_ = image.sequence;
   ++checkpoints_written_;
+  ctr_checkpoints_written_->Inc();
   ledger_dirty_ = false;
   last_checkpoint_ = SteadyClock::now();
-  checkpoint_hist_.Record(std::chrono::duration<double, std::milli>(
+  const double write_ms = std::chrono::duration<double, std::milli>(
                               last_checkpoint_ - write_start)
-                              .count());
+                              .count();
+  checkpoint_hist_.Record(write_ms);
+  cell_checkpoint_->Record(write_ms);
   return Status::OK();
 }
 
@@ -596,18 +670,19 @@ void ServiceDispatcher::MaybeCheckpoint(SteadyClock::time_point now) {
 }
 
 void ServiceDispatcher::MaybePublishMetrics(SteadyClock::time_point now) {
-  if (config_.metrics == nullptr) return;
+  // Runs with or without an exporter: the introspection board must tick
+  // so /healthz staleness detection and /feedz stay live.
   if (now - last_metrics_ <
       std::chrono::milliseconds(
-          std::max<int64_t>(config_.metrics_interval_ms, 1))) {
+          metrics_interval_ms_.load(std::memory_order_relaxed))) {
     return;
   }
   PublishMetricsNow(now);
 }
 
 void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
-  if (config_.metrics == nullptr) return;
   MetricsSnapshot s;
+  auto intro = std::make_shared<ServiceIntrospection>();
   s.seq = ++metrics_seq_;
   s.uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                     now - started_at_)
@@ -618,11 +693,13 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
   s.in_flight = in_flight_;
   s.backlog_windows = backlog_windows_;
   s.checkpoint_errors = checkpoint_errors_;
-  const bool per_feed = config_.metrics->per_feed();
+  const bool per_feed =
+      config_.metrics != nullptr && config_.metrics->per_feed();
   const double budget =
       config_.stream.accounting == BudgetAccounting::kWholesale
           ? config_.stream.total_budget
           : config_.stream.per_object_budget;
+  intro->feeds_detail.reserve(feed_order_.size());
   for (const auto& name : feed_order_) {
     const FeedSlot& slot = feeds_.at(name);
     // Merged (evicted-generation) counters plus the live session's; the
@@ -653,17 +730,30 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
     s.trajectories_in += trajectories_in;
     s.trajectories_published += trajectories_published;
     s.epsilon_spent_max = std::max(s.epsilon_spent_max, epsilon_spent);
+    // Same expression as the frt_feed lines — bit-identical on purpose,
+    // so a shutdown /feedz scrape matches the final report exactly.
+    const double epsilon_remaining =
+        budget > 0.0 ? std::max(0.0, budget - epsilon_spent)
+                     : std::numeric_limits<double>::infinity();
     if (per_feed) {
       MetricsSnapshot::Feed detail;
       detail.feed = name;
       detail.epsilon_spent = epsilon_spent;
-      detail.epsilon_remaining =
-          budget > 0.0 ? std::max(0.0, budget - epsilon_spent)
-                       : std::numeric_limits<double>::infinity();
+      detail.epsilon_remaining = epsilon_remaining;
       detail.windows_published = windows_published;
       detail.windows_refused = windows_refused;
       s.feeds_detail.push_back(std::move(detail));
     }
+    ServiceIntrospection::Feed feed;
+    feed.feed = name;
+    feed.epsilon_spent = epsilon_spent;
+    feed.epsilon_remaining = epsilon_remaining;
+    feed.windows_published = windows_published;
+    feed.windows_refused = windows_refused;
+    feed.backlog = slot.session ? slot.session->backlog_size() : 0;
+    feed.quarantined = slot.quarantined;
+    feed.quarantine_reason = slot.quarantine_reason;
+    intro->feeds_detail.push_back(std::move(feed));
   }
   // Histogram reads are O(buckets), not O(n log n) over a sample ring:
   // the metrics tick no longer re-sorts anything.
@@ -671,7 +761,7 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
   s.close_wait_p99_ms = close_wait_hist_.Quantile(0.99);
   s.publish_p50_ms = publish_hist_.Quantile(0.50);
   s.publish_p99_ms = publish_hist_.Quantile(0.99);
-  if (config_.metrics->histograms()) {
+  if (config_.metrics != nullptr && config_.metrics->histograms()) {
     auto stage = [&s](const char* name, const obs::Histogram& h) {
       MetricsSnapshot::Stage out;
       out.stage = name;
@@ -696,7 +786,30 @@ void ServiceDispatcher::PublishMetricsNow(SteadyClock::time_point now) {
         std::chrono::duration<double, std::milli>(now - last_checkpoint_)
             .count();
   }
-  config_.metrics->Publish(std::move(s));
+  // Registry gauges: the scrapeable point-in-time twins of the snapshot.
+  g_active_sessions_->Set(static_cast<double>(s.active_sessions));
+  g_queue_depth_->Set(static_cast<double>(s.queue_depth));
+  g_backlog_windows_->Set(static_cast<double>(s.backlog_windows));
+  g_in_flight_->Set(static_cast<double>(s.in_flight));
+  g_feeds_->Set(static_cast<double>(s.feeds));
+  g_eps_spent_max_->Set(s.epsilon_spent_max);
+  intro->seq = s.seq;
+  intro->uptime_ms = s.uptime_ms;
+  intro->published_at = now;
+  intro->finished = final_tick_;
+  intro->aborted = aborted_;
+  intro->feeds = s.feeds;
+  intro->active_sessions = s.active_sessions;
+  intro->queue_depth = s.queue_depth;
+  intro->backlog_windows = s.backlog_windows;
+  intro->in_flight = s.in_flight;
+  intro->feeds_quarantined = s.feeds_quarantined;
+  intro->checkpoint_seq = s.checkpoint_seq;
+  intro->checkpoint_age_ms = s.checkpoint_age_ms;
+  intro->checkpoints_written = s.checkpoints_written;
+  intro->checkpoint_errors = s.checkpoint_errors;
+  introspection_.Publish(std::move(intro));
+  if (config_.metrics != nullptr) config_.metrics->Publish(std::move(s));
   last_metrics_ = now;
 }
 
@@ -780,15 +893,15 @@ void ServiceDispatcher::DispatcherLoop() {
       deadline = deadlines_.top().when;
       timed = true;
     }
-    // Housekeeping deadlines: the next metrics tick, and the interval
-    // snapshot for dirty ledgers that have no publish to ride on.
-    if (config_.metrics != nullptr) {
-      deadline = std::min(
-          deadline,
-          last_metrics_ + std::chrono::milliseconds(std::max<int64_t>(
-                              config_.metrics_interval_ms, 1)));
-      timed = true;
-    }
+    // Housekeeping deadlines: the next metrics/introspection tick
+    // (unconditional — the admin plane needs a fresh board even with no
+    // exporter), and the interval snapshot for dirty ledgers that have no
+    // publish to ride on.
+    deadline = std::min(
+        deadline,
+        last_metrics_ + std::chrono::milliseconds(metrics_interval_ms_.load(
+                            std::memory_order_relaxed)));
+    timed = true;
     if (store_.has_value() && ledger_dirty_ && !aborted_) {
       deadline = std::min(
           deadline,
@@ -896,6 +1009,9 @@ void ServiceDispatcher::DispatcherLoop() {
   }
   BuildFinalReport();
   report_.wall_seconds = wall.ElapsedSeconds();
+  // The final tick: everything is quiesced, so the introspection board,
+  // the exporter's last line, and the final report all agree bit for bit.
+  final_tick_ = true;
   PublishMetricsNow(SteadyClock::now());
 }
 

@@ -45,6 +45,7 @@
 #ifndef FRT_SERVICE_DISPATCHER_H_
 #define FRT_SERVICE_DISPATCHER_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -57,9 +58,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "common/bounded_queue.h"
 #include "common/result.h"
 #include "obs/histogram.h"
+#include "obs/registry.h"
 #include "runtime/work_stealing_pool.h"
 #include "service/checkpoint.h"
 #include "service/feed_session.h"
@@ -117,6 +121,58 @@ struct ServiceConfig {
   /// exporter's own thread does all formatting and IO.
   MetricsExporter* metrics = nullptr;
   int64_t metrics_interval_ms = 1000;
+  /// Registry the frt_serve_* counters/gauges register into (not owned;
+  /// must outlive the service). The per-run ServiceReport stays the
+  /// authoritative per-instance accounting; the registry carries additive
+  /// process-wide mirrors for the pull plane. Tests that need bit-exact
+  /// registry values construct their own Registry here.
+  obs::Registry* registry = &obs::Registry::Default();
+};
+
+/// Read-only view of the service for the admin plane, rebuilt on the
+/// dispatcher thread at every metrics tick (and always at start and
+/// shutdown, even with no exporter configured) and published through an
+/// obs::SnapshotBoard. Admin handlers read the latest copy without
+/// touching any dispatcher-owned state.
+struct ServiceIntrospection {
+  /// Monotone tick counter; a scraper that sees the same seq twice with a
+  /// growing published_at age is looking at a wedged dispatcher.
+  uint64_t seq = 0;
+  int64_t uptime_ms = 0;
+  /// When this view was built (steady clock) — readers derive staleness.
+  std::chrono::steady_clock::time_point published_at{};
+  /// The dispatcher loop has exited (final view).
+  bool finished = false;
+  /// The run hit a fatal error (error surfaces through Finish()).
+  bool aborted = false;
+  size_t feeds = 0;
+  size_t active_sessions = 0;
+  size_t queue_depth = 0;
+  size_t backlog_windows = 0;
+  size_t in_flight = 0;
+  size_t feeds_quarantined = 0;
+  uint64_t checkpoint_seq = 0;
+  double checkpoint_age_ms = -1.0;  ///< negative: checkpointing off/idle
+  size_t checkpoints_written = 0;
+  size_t checkpoint_errors = 0;
+
+  struct Feed {
+    std::string feed;
+    /// Cumulative guarantee, same accounting the frt_feed lines report.
+    double epsilon_spent = 0.0;
+    /// max(0, budget - spent); +inf when the ledger is not enforcing.
+    /// Computed with the exporter's exact expression so the shutdown view
+    /// is bit-identical to the final frt_feed lines.
+    double epsilon_remaining = 0.0;
+    size_t windows_published = 0;
+    size_t windows_refused = 0;
+    /// Closed-but-unsubmitted windows this feed holds right now.
+    size_t backlog = 0;
+    bool quarantined = false;
+    std::string quarantine_reason;
+  };
+  /// Every feed ever seen, in first-seen order.
+  std::vector<Feed> feeds_detail;
 };
 
 /// Per-feed outcome, merged across the feed's session generations.
@@ -230,6 +286,20 @@ class ServiceDispatcher {
   const ServiceReport& report() const { return report_; }
 
   const ServiceConfig& config() const { return config_; }
+
+  /// \brief Latest introspection view (nullptr before Start()). Safe from
+  /// any thread at any time; never blocks the dispatcher (see
+  /// obs::SnapshotBoard).
+  std::shared_ptr<const ServiceIntrospection> Introspect() const {
+    return introspection_.Read();
+  }
+
+  /// \brief Retunes the metrics/introspection cadence at runtime (admin
+  /// /control). Thread-safe; takes effect at the next dispatcher wakeup.
+  void SetMetricsIntervalMs(int64_t ms) {
+    metrics_interval_ms_.store(std::max<int64_t>(ms, 1),
+                               std::memory_order_relaxed);
+  }
 
  private:
   struct Completion {
@@ -416,6 +486,40 @@ class ServiceDispatcher {
   std::chrono::steady_clock::time_point last_metrics_{};
   uint64_t metrics_seq_ = 0;
   ServiceReport report_;
+  /// The loop's final tick is running: the introspection view it builds
+  /// carries finished=true so /readyz can flip before Finish() returns.
+  bool final_tick_ = false;
+  /// Runtime-tunable metrics cadence (SetMetricsIntervalMs, any thread);
+  /// seeded from config_.metrics_interval_ms at construction.
+  std::atomic<int64_t> metrics_interval_ms_{1000};
+  /// Admin-plane publication point (see ServiceIntrospection).
+  obs::SnapshotBoard<ServiceIntrospection> introspection_;
+  /// Registry mirrors (see ServiceConfig::registry). Counters are bumped
+  /// at the same sites as the per-run report fields; gauges are set each
+  /// metrics tick; cells shadow the plain per-run histograms.
+  obs::Counter* ctr_sessions_created_ = nullptr;
+  obs::Counter* ctr_sessions_evicted_ = nullptr;
+  obs::Counter* ctr_windows_closed_ = nullptr;
+  obs::Counter* ctr_windows_published_ = nullptr;
+  obs::Counter* ctr_windows_refused_ = nullptr;
+  obs::Counter* ctr_windows_deadline_closed_ = nullptr;
+  obs::Counter* ctr_trajectories_in_ = nullptr;
+  obs::Counter* ctr_trajectories_published_ = nullptr;
+  obs::Counter* ctr_feeds_quarantined_ = nullptr;
+  obs::Counter* ctr_checkpoints_written_ = nullptr;
+  obs::Counter* ctr_checkpoint_errors_ = nullptr;
+  obs::Gauge* g_active_sessions_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_backlog_windows_ = nullptr;
+  obs::Gauge* g_in_flight_ = nullptr;
+  obs::Gauge* g_feeds_ = nullptr;
+  obs::Gauge* g_eps_spent_max_ = nullptr;
+  obs::HistogramCell* cell_close_wait_ = nullptr;
+  obs::HistogramCell* cell_publish_ = nullptr;
+  obs::HistogramCell* cell_queue_wait_ = nullptr;
+  obs::HistogramCell* cell_anonymize_ = nullptr;
+  obs::HistogramCell* cell_checkpoint_ = nullptr;
+  obs::HistogramCell* cell_sink_ = nullptr;
 };
 
 }  // namespace frt

@@ -1,5 +1,6 @@
 #include "service/metrics_exporter.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -22,6 +23,7 @@ int64_t UnixMillis() {
 MetricsExporter::MetricsExporter(Options options)
     : options_(std::move(options)) {
   if (options_.interval_ms < 1) options_.interval_ms = 1;
+  interval_ms_.store(options_.interval_ms, std::memory_order_relaxed);
 }
 
 MetricsExporter::~MetricsExporter() { Stop(); }
@@ -65,8 +67,35 @@ void MetricsExporter::Stop() {
   cv_.notify_all();
   thread_.join();
   started_ = false;
+  // Final flush: the loop never emits on the stop wakeup (it might race a
+  // Publish that landed between the wake and the copy), so the last
+  // partial interval is written here, after the join, where the latest
+  // snapshot is guaranteed to be the publisher's final word.
+  bool emit_final = false;
+  MetricsSnapshot final_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_snapshot_ && writable_) {
+      final_snapshot = latest_;
+      emit_final = true;
+    }
+  }
+  if (emit_final) {
+    const bool ok = Emit(final_snapshot);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+      ++lines_written_;
+    } else {
+      writable_ = false;
+    }
+  }
   if (owns_out_ && out_ != nullptr) std::fclose(out_);
   out_ = nullptr;
+}
+
+void MetricsExporter::SetIntervalMs(int64_t ms) {
+  interval_ms_.store(std::max<int64_t>(ms, 1), std::memory_order_relaxed);
+  cv_.notify_all();
 }
 
 size_t MetricsExporter::lines_written() const {
@@ -75,13 +104,14 @@ size_t MetricsExporter::lines_written() const {
 }
 
 void MetricsExporter::Loop() {
-  const auto interval = std::chrono::milliseconds(options_.interval_ms);
   std::unique_lock<std::mutex> lock(mu_);
-  bool writable = true;
   for (;;) {
+    // Re-read every iteration: /control may retune the cadence mid-run.
+    const auto interval = std::chrono::milliseconds(
+        interval_ms_.load(std::memory_order_relaxed));
     cv_.wait_for(lock, interval, [this] { return stop_; });
-    const bool stopping = stop_;
-    if (has_snapshot_ && writable) {
+    if (stop_) return;  // the final line is emitted by Stop(), post-join
+    if (has_snapshot_ && writable_) {
       // Copy under the lock, format/write outside it: a slow disk never
       // blocks Publish().
       const MetricsSnapshot snapshot = latest_;
@@ -91,10 +121,9 @@ void MetricsExporter::Loop() {
       if (ok) {
         ++lines_written_;
       } else {
-        writable = false;
+        writable_ = false;
       }
     }
-    if (stopping) return;
   }
 }
 

@@ -43,6 +43,7 @@
 #ifndef FRT_SERVICE_METRICS_EXPORTER_H_
 #define FRT_SERVICE_METRICS_EXPORTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -147,12 +148,22 @@ class MetricsExporter {
   /// \brief Replaces the latest snapshot (cheap: one lock + swap).
   void Publish(MetricsSnapshot snapshot);
 
-  /// \brief Emits one final line for the latest snapshot, then joins the
-  /// thread and closes the output. Idempotent.
+  /// \brief Joins the exporter thread, then synchronously emits one final
+  /// line for the latest snapshot — the file always ends with the
+  /// end-of-run state, even when the last Publish landed mid-interval
+  /// (publishers must be quiesced before Stop, which every caller's
+  /// shutdown order guarantees). Idempotent.
   void Stop();
 
   /// Milliseconds between emitted lines.
-  int64_t interval_ms() const { return options_.interval_ms; }
+  int64_t interval_ms() const {
+    return interval_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Changes the emission interval at runtime (admin /control).
+  /// Takes effect after the wait already in progress — at most one stale
+  /// interval.
+  void SetIntervalMs(int64_t ms);
 
   /// Whether per-feed `frt_feed` lines are emitted — publishers may skip
   /// building feeds_detail otherwise.
@@ -174,6 +185,7 @@ class MetricsExporter {
   bool Emit(const MetricsSnapshot& snapshot);
 
   Options options_;
+  std::atomic<int64_t> interval_ms_{1000};
   std::FILE* out_ = nullptr;
   bool owns_out_ = false;
 
@@ -182,6 +194,7 @@ class MetricsExporter {
   MetricsSnapshot latest_;
   bool has_snapshot_ = false;
   bool stop_ = false;
+  bool writable_ = true;  ///< cleared after the first write error
   size_t lines_written_ = 0;
 
   // Exporter-thread state for delta throughput.

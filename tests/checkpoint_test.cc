@@ -490,6 +490,64 @@ TEST(MetricsExporterTest, StageLinesAbsentByDefault) {
   EXPECT_EQ(ReadFile(path).find("frt_stage "), std::string::npos);
 }
 
+TEST(MetricsExporterTest, StopFlushesFinalPartialIntervalSnapshot) {
+  const std::string path = MakeStateDir() + "/metrics.log";
+  MetricsExporter::Options options;
+  options.path = path;
+  // An interval far longer than the test: the loop never fires, so any
+  // output must come from Stop()'s final flush.
+  options.interval_ms = 60000;
+  options.per_feed = true;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+
+  MetricsSnapshot snapshot;
+  snapshot.seq = 1;
+  exporter.Publish(snapshot);
+  snapshot.seq = 2;
+  snapshot.windows_published = 9;
+  MetricsSnapshot::Feed feed;
+  feed.feed = "alpha";
+  feed.epsilon_spent = 0.5;
+  feed.epsilon_remaining = 1.5;
+  snapshot.feeds_detail.push_back(feed);
+  exporter.Publish(snapshot);
+  exporter.Stop();
+
+  // The final (latest) snapshot made it out, not the first.
+  EXPECT_GE(exporter.lines_written(), 1u);
+  const std::string log = ReadFile(path);
+  EXPECT_NE(log.find("seq=2"), std::string::npos);
+  EXPECT_NE(log.find("windows_published=9"), std::string::npos);
+  EXPECT_NE(log.find("feed=alpha"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, SetIntervalMsRetunesTheCadence) {
+  const std::string path = MakeStateDir() + "/metrics.log";
+  MetricsExporter::Options options;
+  options.path = path;
+  options.interval_ms = 60000;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_EQ(exporter.interval_ms(), 60000);
+
+  MetricsSnapshot snapshot;
+  snapshot.seq = 1;
+  exporter.Publish(snapshot);
+  // Retune from one-a-minute to 5 ms: the sleeping loop must pick the
+  // new cadence up and start emitting well before the old deadline.
+  exporter.SetIntervalMs(5);
+  EXPECT_EQ(exporter.interval_ms(), 5);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (exporter.lines_written() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(exporter.lines_written(), 2u);
+  exporter.Stop();
+}
+
 TEST(MetricsExporterTest, StopIsIdempotentAndStderrPathWorks) {
   MetricsExporter::Options options;
   options.path = "-";

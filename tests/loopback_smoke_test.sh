@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Loopback smoke of the distributed ingress tier (ISSUE 8).
+# Loopback smoke of the distributed ingress tier (ISSUE 8) and the
+# admin introspection plane (ISSUE 10).
 #
-# One frt_serve aggregator listens on a Unix socket and two frt_edge
+# One frt_serve aggregator listens on a Unix socket and three frt_edge
 # processes stream framed trajectories into it. Edge A is clean; edge B
 # injects one corrupt payload byte (after the CRC was computed) into its
-# second trajectory frame, so the aggregator must:
+# second trajectory frame; edge C is clean again so the aggregator stays
+# alive for admin scrapes after the quarantine. The aggregator must:
 #
 #   - quarantine edge B's feed (per-feed quarantine report + exit 3),
-#   - publish edge A's feed completely and untouched,
-#   - record "frame_read" / "frame_decode" ingress spans in the trace.
+#   - publish edge A's and C's feeds completely and untouched,
+#   - record "frame_read" / "frame_decode" ingress spans in the trace,
+#   - serve /metrics, /healthz, and /feedz mid-run on --admin-listen,
+#     with eps_remaining non-increasing across scrapes and the
+#     quarantined feed visible in /feedz.
 #
 # Usage: loopback_smoke_test.sh /path/to/frt_serve /path/to/frt_edge
 
@@ -36,6 +41,8 @@ fail() {
   cat "$WORK/edge_a.log" >&2 2>/dev/null
   echo "---- edge_b.log ----" >&2
   cat "$WORK/edge_b.log" >&2 2>/dev/null
+  echo "---- edge_c.log ----" >&2
+  cat "$WORK/edge_c.log" >&2 2>/dev/null
   exit 1
 }
 
@@ -53,28 +60,70 @@ make_feed() {
 }
 make_feed alpha > "$WORK/a.csv"
 make_feed beta  > "$WORK/b.csv"
+make_feed gamma > "$WORK/c.csv"
 
 SOCK="$WORK/agg.sock"
+ADMIN_SOCK="$WORK/admin.sock"
 FLAGS=(--window 2 --epsilon-global 0.5 --epsilon-local 0.5 --shards 2
        --seed 17 --budget 100)
 
-# ---- Aggregator: 2 edge connections, trace armed. ----
-"$SERVE" --listen "unix:$SOCK" --listen-conns 2 --output "$WORK/merged.csv" \
-         --trace-out "$WORK/trace.json" "${FLAGS[@]}" \
+# One HTTP/1.0 GET over the admin Unix socket; prints the response body.
+admin_get() {
+  "$PYTHON" - "$ADMIN_SOCK" "$1" <<'PY'
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.settimeout(5)
+s.connect(sys.argv[1])
+s.sendall(("GET %s HTTP/1.0\r\n\r\n" % sys.argv[2]).encode())
+data = b""
+while True:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    data += chunk
+parts = data.split(b"\r\n\r\n", 1)
+sys.stdout.write(parts[1].decode() if len(parts) > 1 else "")
+PY
+}
+
+# ---- Aggregator: 3 edge connections, trace + admin plane armed, fast
+# introspection ticks so scrapes see fresh per-feed state. ----
+"$SERVE" --listen "unix:$SOCK" --listen-conns 3 --output "$WORK/merged.csv" \
+         --trace-out "$WORK/trace.json" \
+         --admin-listen "unix:$ADMIN_SOCK" \
+         --metrics "$WORK/metrics.log" --metrics-interval-ms 50 \
+         --metrics-per-feed "${FLAGS[@]}" \
          2> "$WORK/serve.log" &
 SERVE_PID=$!
 
 for _ in $(seq 50); do
-  [[ -S "$SOCK" ]] && break
+  [[ -S "$SOCK" && -S "$ADMIN_SOCK" ]] && break
   sleep 0.1
 done
 [[ -S "$SOCK" ]] || fail "aggregator never bound $SOCK"
+[[ -S "$ADMIN_SOCK" ]] || fail "aggregator never bound $ADMIN_SOCK"
 
 # ---- Edge A: clean run, must exit 0. ----
 "$EDGE" --feeds "$WORK/a.csv" --connect "unix:$SOCK" --hello edge-a \
         "${FLAGS[@]}" 2> "$WORK/edge_a.log"
 EDGE_A_EXIT=$?
 [[ "$EDGE_A_EXIT" -eq 0 ]] || fail "clean edge exited $EDGE_A_EXIT, want 0"
+
+# ---- Admin scrape #1 (mid-run, after alpha published). ----
+for _ in $(seq 50); do
+  admin_get /feedz > "$WORK/feedz1.json" 2>/dev/null
+  grep -q '"feed":"alpha"' "$WORK/feedz1.json" && break
+  sleep 0.1
+done
+grep -q '"feed":"alpha"' "$WORK/feedz1.json" \
+  || fail "alpha never appeared in /feedz"
+HEALTH1="$(admin_get /healthz)"
+[[ "$HEALTH1" == "ok" ]] || fail "/healthz said '$HEALTH1', want ok"
+admin_get /metrics > "$WORK/metrics1.prom"
+grep -q "^# TYPE frt_serve_windows_published_total counter" \
+    "$WORK/metrics1.prom" || fail "/metrics missing serve counters"
+grep -q "^frt_ingress_frames_total " "$WORK/metrics1.prom" \
+  || fail "/metrics missing ingress counters"
 
 # ---- Edge B: corrupts its 2nd trajectory frame mid-stream. The
 # aggregator tears the connection down at the CRC mismatch; depending on
@@ -88,6 +137,60 @@ EDGE_B_EXIT=$?
   || fail "corrupt edge exited $EDGE_B_EXIT, want 0 or 1"
 grep -q "injected corrupt payload byte" "$WORK/edge_b.log" \
   || fail "edge B never injected its fault"
+
+# ---- Admin scrape #2: the quarantined feed shows up in /feedz, alpha's
+# eps_remaining never increased, and the scrape counters are monotone. ----
+for _ in $(seq 50); do
+  admin_get /feedz > "$WORK/feedz2.json" 2>/dev/null
+  "$PYTHON" -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+sys.exit(0 if any(f["feed"] == "beta" and f["quarantined"]
+                  for f in d["feed"]) else 1)' "$WORK/feedz2.json" \
+    2>/dev/null && break
+  sleep 0.1
+done
+admin_get /metrics > "$WORK/metrics2.prom"
+"$PYTHON" - "$WORK/feedz1.json" "$WORK/feedz2.json" \
+    "$WORK/metrics1.prom" "$WORK/metrics2.prom" <<'PY' \
+  || fail "admin scrape invariants violated"
+import json, sys
+
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+
+def feeds(d):
+    return {f["feed"]: f for f in d["feed"]}
+
+f1, f2 = feeds(first), feeds(second)
+assert "beta" in f2 and f2["beta"]["quarantined"], \
+    "quarantined beta missing from /feedz: %r" % f2
+assert f2["beta"]["quarantine_reason"], "quarantine reason empty"
+# Budget only ever drains: eps_remaining is non-increasing and
+# eps_spent non-decreasing across scrapes, per feed.
+for name in set(f1) & set(f2):
+    assert float(f2[name]["eps_remaining"]) <= float(
+        f1[name]["eps_remaining"]), name
+    assert float(f2[name]["eps_spent"]) >= float(f1[name]["eps_spent"]), name
+assert f2["alpha"]["windows_published"] == 4, f2["alpha"]
+
+def counter(path, name):
+    for line in open(path):
+        if line.startswith(name + " "):
+            return int(line.split()[1])
+    raise AssertionError("%s missing from %s" % (name, path))
+
+for name in ("frt_serve_windows_published_total",
+             "frt_ingress_frames_total", "frt_admin_requests_total"):
+    assert counter(sys.argv[4], name) >= counter(sys.argv[3], name), name
+assert counter(sys.argv[4], "frt_serve_feeds_quarantined_total") == 1
+PY
+
+# ---- Edge C: clean again — the quarantine stayed contained. ----
+"$EDGE" --feeds "$WORK/c.csv" --connect "unix:$SOCK" --hello edge-c \
+        "${FLAGS[@]}" 2> "$WORK/edge_c.log"
+EDGE_C_EXIT=$?
+[[ "$EDGE_C_EXIT" -eq 0 ]] || fail "clean edge C exited $EDGE_C_EXIT, want 0"
 
 wait "$SERVE_PID"
 SERVE_EXIT=$?
@@ -108,6 +211,8 @@ grep -q "quarantine" "$WORK/edge_a.log" \
 # points, so assert at the window/trajectory level, not line counts).
 grep -q "feed alpha: 4 windows published (8 trajs)" "$WORK/serve.log" \
   || fail "alpha did not publish its full 4 windows"
+grep -q "feed gamma: 4 windows published (8 trajs)" "$WORK/serve.log" \
+  || fail "gamma did not publish its full 4 windows"
 # Beta's corrupt frame was its 2nd: one trajectory arrived pre-fault,
 # never enough to close a window of 2, so nothing of beta publishes.
 grep -q "feed beta: 0 windows published (0 trajs)" "$WORK/serve.log" \

@@ -114,6 +114,27 @@ def derive_trace_overhead(benchmarks):
     return None
 
 
+def derive_admin_overhead(benchmarks):
+    """Surfaces the serve study's paired admin-scrape overhead measurement.
+
+    BM_ServeAdminScrapeOverhead runs the same 16-feed workload with no
+    admin listener and with a 10 Hz /metrics + /feedz scraper inside every
+    iteration. Returns {"throughput_ratio": scraped/unscraped, "source":
+    name} or None when the report has no such entry. The acceptance claim
+    is ratio >= 0.99: admin handlers only read registry atomics and
+    snapshot copies, so a live scraper is throughput-neutral.
+    """
+    for name, entry in benchmarks.items():
+        if ("ServeAdminScrapeOverhead" in name
+                and "admin_scrape_throughput_ratio" in entry):
+            return {
+                "throughput_ratio": round(
+                    entry["admin_scrape_throughput_ratio"], 3),
+                "source": name,
+            }
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     source = parser.add_mutually_exclusive_group(required=True)
@@ -154,6 +175,10 @@ def main():
     trace = derive_trace_overhead(report["benchmarks"])
     if trace is not None:
         report["trace_overhead"] = trace
+
+    admin = derive_admin_overhead(report["benchmarks"])
+    if admin is not None:
+        report["admin_overhead"] = admin
 
     if args.baseline:
         with open(args.baseline) as f:

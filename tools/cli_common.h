@@ -505,6 +505,9 @@ struct ObservabilityArgs {
   uint64_t trace_buffer_events = uint64_t{1} << 16;
   /// Emit per-stage frt_stage histogram lines with --metrics.
   bool metrics_histograms = false;
+  /// Admin/introspection endpoint ("unix:PATH" or "tcp:HOST:PORT");
+  /// empty = no admin plane.
+  std::string admin_listen;
 };
 
 /// \brief Tries to consume argv[*i] as one of the observability flags.
@@ -533,6 +536,9 @@ inline FlagParse ParseObservabilityFlag(int argc, char** argv, int* i,
     args->trace_buffer_events = n;
   } else if (std::strcmp(flag, "--metrics-histograms") == 0) {
     args->metrics_histograms = true;
+  } else if (std::strcmp(flag, "--admin-listen") == 0) {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    args->admin_listen = v;
   } else {
     return FlagParse::kNotMine;
   }
@@ -566,7 +572,12 @@ inline const char* ObservabilityUsageText() {
       "                       (default 65536)\n"
       "  --metrics-histograms with --metrics: also emit one frt_stage "
       "latency\n"
-      "                       histogram line per stage per interval\n";
+      "                       histogram line per stage per interval\n"
+      "  --admin-listen EP    serve the introspection plane on EP "
+      "(unix:PATH or\n"
+      "                       tcp:HOST:PORT): GET /metrics /healthz /readyz "
+      "/feedz,\n"
+      "                       POST /control (default: off)\n";
 }
 
 // ---- Transport flags (frt_serve --listen, frt_edge --connect) ----

@@ -42,6 +42,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -51,6 +52,7 @@
 #include "frt.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/admin_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "service/dispatcher.h"
@@ -291,6 +293,18 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  // A bad --admin-listen is a usage error, not a mid-run failure.
+  std::optional<frt::net::Endpoint> admin_endpoint;
+  if (!args.obs.admin_listen.empty()) {
+    auto endpoint = frt::net::ParseEndpoint(args.obs.admin_listen);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "edge: %s\n",
+                   endpoint.status().ToString().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    admin_endpoint = *std::move(endpoint);
+  }
   frt::ServiceConfig config;
   if (!frt::cli::MakeStreamConfig(args.stream, args.pipeline,
                                   pipeline_config, &config.stream)) {
@@ -394,6 +408,36 @@ int main(int argc, char** argv) {
   if (auto st = service.Start(args.pipeline.seed); !st.ok()) {
     std::fprintf(stderr, "edge: %s\n", st.ToString().c_str());
     return 1;
+  }
+
+  // ---- Admin plane (--admin-listen): the pre-registered /metrics and
+  // /healthz endpoints plus runtime control over tracing and the metrics
+  // cadence. Declared after the service so its thread joins before the
+  // service goes away. ----
+  std::unique_ptr<frt::obs::AdminServer> admin;
+  if (admin_endpoint.has_value()) {
+    frt::obs::AdminServer::Options admin_options;
+    admin_options.endpoint = *admin_endpoint;
+    admin = std::make_unique<frt::obs::AdminServer>(admin_options);
+    frt::obs::ControlHooks hooks;
+    hooks.trace_out = args.obs.trace_out;
+    hooks.trace_buffer_events =
+        static_cast<size_t>(args.obs.trace_buffer_events);
+    frt::MetricsExporter* exporter = metrics.get();
+    frt::ServiceDispatcher* service_ptr = &service;
+    hooks.set_metrics_interval_ms = [service_ptr, exporter](int64_t ms) {
+      service_ptr->SetMetricsIntervalMs(ms);
+      if (exporter != nullptr) exporter->SetIntervalMs(ms);
+      return true;
+    };
+    admin->Handle("POST", "/control",
+                  frt::obs::MakeControlHandler(std::move(hooks)));
+    if (auto st = admin->Start(); !st.ok()) {
+      std::fprintf(stderr, "edge: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "edge: admin plane on %s\n",
+                 args.obs.admin_listen.c_str());
   }
 
   // ---- Ingest (same shapes as frt_serve). ----

@@ -34,7 +34,7 @@
 //       [durability flags: --state-dir --checkpoint-interval-ms
 //        --metrics --metrics-interval-ms --metrics-per-feed]
 //       [observability flags: --trace-out --trace-buffer-events
-//        --metrics-histograms]
+//        --metrics-histograms --admin-listen]
 //       [stream flags: --window --stride --budget --per-object-budget
 //        --evict-exhausted --queue --close-after-ms ...]
 //       [pipeline flags: --epsilon-global --epsilon-local --m --strategy
@@ -60,7 +60,9 @@
 // or was quarantined on a malformed stream; 1 = runtime error; 2 = usage
 // error.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -75,9 +77,12 @@
 #include <vector>
 
 #include "cli_common.h"
+#include "common/strings.h"
 #include "frt.h"
 #include "net/ingress.h"
 #include "net/socket.h"
+#include "obs/admin_server.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "service/dispatcher.h"
@@ -279,6 +284,44 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
+/// /feedz JSON from the dispatcher's introspection board. The epsilon
+/// fields are emitted as strings with the exact frt_feed line formats
+/// (eps_spent %.6f, eps_remaining %g), so a scrape taken after shutdown
+/// is bit-identical to the final per-feed report lines — and "inf" never
+/// produces an invalid JSON number.
+std::string RenderFeedz(const frt::ServiceIntrospection& intro) {
+  std::string out = frt::StrFormat(
+      "{\"seq\":%llu,\"uptime_ms\":%lld,\"finished\":%s,\"aborted\":%s,"
+      "\"feeds\":%zu,\"active_sessions\":%zu,\"queue_depth\":%zu,"
+      "\"backlog_windows\":%zu,\"in_flight\":%zu,"
+      "\"feeds_quarantined\":%zu,\"feed\":[",
+      static_cast<unsigned long long>(intro.seq),
+      static_cast<long long>(intro.uptime_ms),
+      intro.finished ? "true" : "false", intro.aborted ? "true" : "false",
+      intro.feeds, intro.active_sessions, intro.queue_depth,
+      intro.backlog_windows, intro.in_flight, intro.feeds_quarantined);
+  bool first = true;
+  for (const frt::ServiceIntrospection::Feed& feed : intro.feeds_detail) {
+    if (!first) out += ',';
+    first = false;
+    out += frt::StrFormat(
+        "{\"feed\":\"%s\",\"eps_spent\":\"%.6f\",\"eps_remaining\":\"%g\","
+        "\"windows_published\":%zu,\"windows_refused\":%zu,\"backlog\":%zu,"
+        "\"quarantined\":%s",
+        frt::obs::JsonEscape(feed.feed).c_str(), feed.epsilon_spent,
+        feed.epsilon_remaining, feed.windows_published,
+        feed.windows_refused, feed.backlog,
+        feed.quarantined ? "true" : "false");
+    if (feed.quarantined) {
+      out += ",\"quarantine_reason\":\"" +
+             frt::obs::JsonEscape(feed.quarantine_reason) + "\"";
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
 /// Streams the interleaved multi-feed CSV (`feed,traj_id,x,y,t`) into the
 /// dispatcher. Per feed, consecutive same-id lines form one trajectory —
 /// the same contiguity contract the single-feed format has always had,
@@ -365,6 +408,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     listen_endpoint = *std::move(endpoint);
+  }
+  std::optional<frt::net::Endpoint> admin_endpoint;
+  if (!args.obs.admin_listen.empty()) {
+    auto endpoint = frt::net::ParseEndpoint(args.obs.admin_listen);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   endpoint.status().ToString().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    admin_endpoint = *std::move(endpoint);
   }
   frt::ServiceConfig config;
   if (!frt::cli::MakeStreamConfig(args.stream, args.pipeline,
@@ -474,6 +528,109 @@ int main(int argc, char** argv) {
   if (auto st = service.Start(args.pipeline.seed); !st.ok()) {
     std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
     return 1;
+  }
+
+  // ---- Admin plane (--admin-listen). Declared after the service so it
+  // is destroyed (and its thread joined) before the service goes away;
+  // handlers read only the registry and the introspection board. ----
+  std::unique_ptr<frt::obs::AdminServer> admin;
+  if (admin_endpoint.has_value()) {
+    frt::obs::AdminServer::Options admin_options;
+    admin_options.endpoint = *admin_endpoint;
+    admin = std::make_unique<frt::obs::AdminServer>(admin_options);
+    // Staleness threshold for /healthz and /readyz; follows the metrics
+    // interval when /control retunes it.
+    auto stale_after_ms = std::make_shared<std::atomic<int64_t>>(
+        std::max<int64_t>(5 * args.durability.metrics_interval_ms, 5000));
+    admin->Handle(
+        "GET", "/healthz",
+        [&service, stale_after_ms](const frt::obs::HttpRequest&) {
+          frt::obs::HttpResponse r;
+          const auto intro = service.Introspect();
+          if (intro == nullptr) {
+            r.status = 503;
+            r.body = "starting\n";
+            return r;
+          }
+          const double age_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - intro->published_at)
+                  .count();
+          if (!intro->finished &&
+              age_ms > static_cast<double>(stale_after_ms->load(
+                           std::memory_order_relaxed))) {
+            r.status = 503;
+            r.body = frt::StrFormat(
+                "stale: introspection board is %.0f ms old (seq %llu)\n",
+                age_ms, static_cast<unsigned long long>(intro->seq));
+            return r;
+          }
+          r.body = "ok\n";
+          return r;
+        });
+    admin->Handle(
+        "GET", "/readyz",
+        [&service, stale_after_ms](const frt::obs::HttpRequest&) {
+          frt::obs::HttpResponse r;
+          const auto intro = service.Introspect();
+          if (intro == nullptr) {
+            r.status = 503;
+            r.body = "starting\n";
+            return r;
+          }
+          if (intro->aborted || intro->finished) {
+            r.status = 503;
+            r.body = intro->aborted ? "aborted\n" : "finished\n";
+            return r;
+          }
+          const double age_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - intro->published_at)
+                  .count();
+          if (age_ms > static_cast<double>(stale_after_ms->load(
+                           std::memory_order_relaxed))) {
+            r.status = 503;
+            r.body = "stale\n";
+            return r;
+          }
+          r.body = "ready\n";
+          return r;
+        });
+    admin->Handle("GET", "/feedz",
+                  [&service](const frt::obs::HttpRequest&) {
+                    frt::obs::HttpResponse r;
+                    r.content_type = "application/json";
+                    const auto intro = service.Introspect();
+                    if (intro == nullptr) {
+                      r.status = 503;
+                      r.body = "{\"error\":\"starting\"}\n";
+                      return r;
+                    }
+                    r.body = RenderFeedz(*intro);
+                    return r;
+                  });
+    frt::obs::ControlHooks hooks;
+    hooks.trace_out = args.obs.trace_out;
+    hooks.trace_buffer_events =
+        static_cast<size_t>(args.obs.trace_buffer_events);
+    frt::MetricsExporter* exporter = metrics.get();
+    frt::ServiceDispatcher* service_ptr = &service;
+    hooks.set_metrics_interval_ms = [service_ptr, exporter,
+                                     stale_after_ms](int64_t ms) {
+      service_ptr->SetMetricsIntervalMs(ms);
+      if (exporter != nullptr) exporter->SetIntervalMs(ms);
+      stale_after_ms->store(std::max<int64_t>(5 * ms, 5000),
+                            std::memory_order_relaxed);
+      return true;
+    };
+    admin->Handle("POST", "/control",
+                  frt::obs::MakeControlHandler(std::move(hooks)));
+    if (auto st = admin->Start(); !st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serve: admin plane on %s\n",
+                 args.obs.admin_listen.c_str());
   }
 
   // ---- Ingest. ----

@@ -26,6 +26,7 @@
 //       [--dispatch steal|static] [--stop-on-exhausted]
 //       [--close-after-ms 0] [--state-dir DIR] [--metrics PATH]
 //       [--trace-out PATH] [--trace-buffer-events N] [--metrics-histograms]
+//       [--admin-listen EP]
 //
 // With --state-dir the budget ledger is checkpointed durably before every
 // published window leaves the process and recovered on the next start
@@ -54,6 +55,7 @@
 
 #include "cli_common.h"
 #include "frt.h"
+#include "obs/admin_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "service/checkpoint.h"
@@ -165,6 +167,18 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  // A bad --admin-listen is a usage error, not a mid-run failure.
+  std::optional<frt::net::Endpoint> admin_endpoint;
+  if (!args.obs.admin_listen.empty()) {
+    auto endpoint = frt::net::ParseEndpoint(args.obs.admin_listen);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "stream: %s\n",
+                   endpoint.status().ToString().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    admin_endpoint = *std::move(endpoint);
+  }
 
   std::ifstream input_file;
   if (args.input != "-") {
@@ -245,6 +259,36 @@ int main(int argc, char** argv) {
         static_cast<size_t>(args.obs.trace_buffer_events);
     frt::obs::TraceRecorder::Get().Start(trace_options);
     frt::obs::SetTraceThreadName("stream-runner");
+  }
+
+  // ---- Admin plane (--admin-listen): the pre-registered /metrics and
+  // /healthz endpoints plus runtime control over tracing and the metrics
+  // cadence. Handlers only touch the registry and the exporter's atomic
+  // interval — never the runner. ----
+  std::unique_ptr<frt::obs::AdminServer> admin;
+  if (admin_endpoint.has_value()) {
+    frt::obs::AdminServer::Options admin_options;
+    admin_options.endpoint = *admin_endpoint;
+    admin = std::make_unique<frt::obs::AdminServer>(admin_options);
+    frt::obs::ControlHooks hooks;
+    hooks.trace_out = args.obs.trace_out;
+    hooks.trace_buffer_events =
+        static_cast<size_t>(args.obs.trace_buffer_events);
+    if (metrics) {
+      frt::MetricsExporter* exporter = metrics.get();
+      hooks.set_metrics_interval_ms = [exporter](int64_t ms) {
+        exporter->SetIntervalMs(ms);
+        return true;
+      };
+    }
+    admin->Handle("POST", "/control",
+                  frt::obs::MakeControlHandler(std::move(hooks)));
+    if (auto st = admin->Start(); !st.ok()) {
+      std::fprintf(stderr, "stream: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "stream: admin plane on %s\n",
+                 args.obs.admin_listen.c_str());
   }
 
   frt::TrajectoryReader reader(in);
